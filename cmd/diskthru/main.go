@@ -1,0 +1,97 @@
+// Command diskthru regenerates the tables and figures of Carrera &
+// Bianchini, "Improving Disk Throughput in Data-Intensive Servers"
+// (HPCA 2004) from the simulator in this repository.
+//
+// Usage:
+//
+//	diskthru -experiment fig3          # one experiment
+//	diskthru -all                      # everything, in paper order
+//	diskthru -list                     # available experiment names
+//	diskthru -all -quick               # reduced scales, fast
+//	diskthru -experiment fig7 -web-scale 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"diskthru/internal/experiments"
+)
+
+func main() {
+	var (
+		name      = flag.String("experiment", "", "experiment to run (see -list)")
+		all       = flag.Bool("all", false, "run every experiment in paper order")
+		list      = flag.Bool("list", false, "list experiment names")
+		quick     = flag.Bool("quick", false, "use reduced scales (fast, trends only)")
+		synReqs   = flag.Int("syn-requests", 0, "override synthetic trace length")
+		webScale  = flag.Float64("web-scale", 0, "override Web workload scale (1.0 = paper)")
+		proxScale = flag.Float64("proxy-scale", 0, "override proxy workload scale")
+		fileScale = flag.Float64("file-scale", 0, "override file-server workload scale")
+		seed      = flag.Int64("seed", 0, "seed offset for replication runs")
+		timing    = flag.Bool("time", false, "print wall-clock time per experiment")
+		format    = flag.String("format", "text", "output format: text | csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	opts := experiments.Defaults()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if *synReqs > 0 {
+		opts.SynRequests = *synReqs
+	}
+	if *webScale > 0 {
+		opts.WebScale = *webScale
+	}
+	if *proxScale > 0 {
+		opts.ProxyScale = *proxScale
+	}
+	if *fileScale > 0 {
+		opts.FileScale = *fileScale
+	}
+	opts.Seed = *seed
+
+	var names []string
+	switch {
+	case *all:
+		names = experiments.Names()
+	case *name != "":
+		names = []string{*name}
+	default:
+		fmt.Fprintln(os.Stderr, "diskthru: pass -experiment <name>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, n := range names {
+		start := time.Now()
+		table, err := experiments.Run(n, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "diskthru: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			if err := table.CSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "diskthru: %s: %v\n", n, err)
+				os.Exit(1)
+			}
+		default:
+			table.Format(os.Stdout)
+		}
+		if *timing {
+			fmt.Printf("(%s took %v)\n", n, time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+}

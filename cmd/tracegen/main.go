@@ -1,0 +1,79 @@
+// Command tracegen synthesizes a disk-level trace and writes it in the
+// repository's binary trace format, so expensive workload generation can
+// be done once and the result shared or inspected with traceinfo.
+//
+//	tracegen -workload web -scale 0.1 -out web.trace
+//	tracegen -workload synthetic -file-kb 16 -requests 10000 -out syn.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"diskthru"
+)
+
+func main() {
+	var (
+		kind     = flag.String("workload", "synthetic", "synthetic | web | proxy | file | mail | media | oltp")
+		out      = flag.String("out", "", "output file (required)")
+		scale    = flag.Float64("scale", 0.1, "server workload scale (1.0 = paper)")
+		fileKB   = flag.Int("file-kb", 16, "synthetic: file size in KB")
+		requests = flag.Int("requests", 10000, "synthetic: request count")
+		alpha    = flag.Float64("alpha", 0.4, "synthetic: Zipf skew")
+		writes   = flag.Float64("writes", 0, "synthetic: write fraction")
+		seed     = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	w, err := build(*kind, *scale, *fileKB, *requests, *alpha, *writes, *seed)
+	if err != nil {
+		log.Fatalf("tracegen: %v", err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("tracegen: %v", err)
+	}
+	defer f.Close()
+	if err := w.EncodeTrace(f); err != nil {
+		log.Fatalf("tracegen: encoding: %v", err)
+	}
+	fmt.Printf("%s: %d records (%.1f%% writes), %d files, footprint %d MB\n",
+		*out, w.Records(), w.WriteFraction()*100, w.Files(),
+		w.FootprintBlocks()*4096>>20)
+}
+
+func build(kind string, scale float64, fileKB, requests int, alpha, writes float64, seed int64) (*diskthru.Workload, error) {
+	switch kind {
+	case "synthetic":
+		return diskthru.SyntheticWorkload(diskthru.SyntheticOptions{
+			FileKB:        fileKB,
+			Requests:      requests,
+			ZipfAlpha:     alpha,
+			WriteFraction: writes,
+			Seed:          seed,
+		})
+	case "web":
+		return diskthru.WebWorkload(scale)
+	case "proxy":
+		return diskthru.ProxyWorkload(scale)
+	case "file":
+		return diskthru.FileServerWorkload(scale)
+	case "mail":
+		return diskthru.MailWorkload(scale)
+	case "media":
+		return diskthru.MediaWorkload(scale)
+	case "oltp":
+		return diskthru.OLTPWorkload(scale)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", kind)
+	}
+}

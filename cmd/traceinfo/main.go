@@ -1,0 +1,100 @@
+// Command traceinfo summarizes a binary trace written by tracegen: record
+// and block counts, read/write mix, request-size distribution, and the
+// access-count head that drives HDC planning.
+//
+//	traceinfo web.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"diskthru/internal/trace"
+)
+
+func main() {
+	topN := flag.Int("top", 10, "show the N most accessed (file, offset) pairs")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceinfo [-top N] <trace-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("traceinfo: %v", err)
+	}
+	defer f.Close()
+	t, err := trace.Decode(f)
+	if err != nil {
+		log.Fatalf("traceinfo: %v", err)
+	}
+
+	fmt.Printf("records:        %d\n", t.Len())
+	fmt.Printf("blocks:         %d (%.1f MB)\n", t.TotalBlocks(), float64(t.TotalBlocks())*4096/1e6)
+	fmt.Printf("write records:  %.1f%%\n", t.WriteFraction()*100)
+
+	// Request-size distribution.
+	sizes := map[int32]int{}
+	files := map[int32]bool{}
+	var maxBlocks int32
+	for _, r := range t.Records {
+		sizes[r.Blocks]++
+		files[r.File] = true
+		if r.Blocks > maxBlocks {
+			maxBlocks = r.Blocks
+		}
+	}
+	fmt.Printf("distinct files: %d\n", len(files))
+	fmt.Printf("mean record:    %.2f blocks (max %d)\n",
+		float64(t.TotalBlocks())/float64(t.Len()), maxBlocks)
+
+	keys := make([]int32, 0, len(sizes))
+	for k := range sizes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	fmt.Println("record sizes:")
+	shown := 0
+	for _, k := range keys {
+		if shown >= 8 {
+			fmt.Printf("  ... %d more sizes\n", len(keys)-shown)
+			break
+		}
+		fmt.Printf("  %3d blocks: %d\n", k, sizes[k])
+		shown++
+	}
+
+	// Hottest (file, offset) targets — the residual popularity head.
+	type key struct{ file, off int32 }
+	counts := map[key]int{}
+	for _, r := range t.Records {
+		counts[key{r.File, r.Offset}]++
+	}
+	type kv struct {
+		k key
+		n int
+	}
+	ranked := make([]kv, 0, len(counts))
+	for k, n := range counts {
+		ranked = append(ranked, kv{k, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		if ranked[i].k.file != ranked[j].k.file {
+			return ranked[i].k.file < ranked[j].k.file
+		}
+		return ranked[i].k.off < ranked[j].k.off
+	})
+	fmt.Printf("hottest targets (top %d):\n", *topN)
+	for i, e := range ranked {
+		if i >= *topN {
+			break
+		}
+		fmt.Printf("  file %6d +%-5d  %d accesses\n", e.k.file, e.k.off, e.n)
+	}
+}

@@ -1,0 +1,320 @@
+// Package diskthru reproduces the system of Carrera & Bianchini,
+// "Improving Disk Throughput in Data-Intensive Servers" (HPCA 2004): a
+// detailed event-driven simulator of a striped SCSI disk array whose
+// controllers implement the paper's two techniques —
+//
+//   - FOR (File-Oriented Read-ahead): a block-based controller cache plus
+//     a per-disk continuation bitmap that bounds read-ahead at file
+//     boundaries, cutting useless transfer for small-file server
+//     workloads; and
+//   - HDC (Host-guided Device Caching): pin_blk/unpin_blk/flush_hdc
+//     commands that let the host permanently cache its hottest
+//     buffer-cache-missing blocks in the controllers.
+//
+// The package exposes the paper's Table 1 configuration surface
+// (Config), workload constructors matching the evaluation's synthetic
+// and server traces (SyntheticWorkload, WebWorkload, ProxyWorkload,
+// FileServerWorkload), and Run, which replays a workload and reports the
+// paper's metrics. The experiment drivers that regenerate each figure
+// and table live in internal/experiments and are reachable through
+// cmd/diskthru.
+package diskthru
+
+import (
+	"fmt"
+	"sort"
+
+	"diskthru/internal/array"
+	"diskthru/internal/bus"
+	"diskthru/internal/disk"
+	"diskthru/internal/fslayout"
+	"diskthru/internal/geom"
+	"diskthru/internal/host"
+	"diskthru/internal/sim"
+	"diskthru/internal/workload"
+)
+
+// DiskStats is one drive's view of a finished run.
+type DiskStats struct {
+	Reads, Writes   uint64
+	HitRate         float64
+	HDCHitRate      float64
+	MediaOps        uint64
+	MediaBlocks     uint64
+	RequestedBlocks uint64
+	BusySeconds     float64
+}
+
+// Result reports the paper's measurements for one replay.
+type Result struct {
+	// IOTime is the makespan of the trace replay in seconds — the
+	// quantity the paper's figures plot (absolute or normalized).
+	IOTime float64
+	// HitRate is the array-wide controller-cache hit rate.
+	HitRate float64
+	// HDCHitRate is the array-wide pinned-region hit rate (Figures 5,
+	// 8, 10, 12).
+	HDCHitRate float64
+	// MediaBlocks counts blocks moved at the platters, read-ahead
+	// included; RequestedBlocks counts what the host asked for. Their
+	// ratio exposes read-ahead waste.
+	MediaBlocks     uint64
+	RequestedBlocks uint64
+	// Requests is the number of per-disk requests the host issued.
+	Requests uint64
+	// BusSeconds and BusUtilization describe interconnect load.
+	BusSeconds     float64
+	BusUtilization float64
+	// Latency summarizes per-record response times; populated only by
+	// open-loop runs (Config.ArrivalRate > 0).
+	Latency LatencySummary
+	// PerDisk holds each drive's counters, in array order.
+	PerDisk []DiskStats
+}
+
+// LatencySummary reports response-time statistics of an open-loop run,
+// in seconds.
+type LatencySummary struct {
+	N                   int
+	Mean, P50, P95, P99 float64
+	Max                 float64
+}
+
+// summarizeLatencies sorts and summarizes response times.
+func summarizeLatencies(v []float64) LatencySummary {
+	if len(v) == 0 {
+		return LatencySummary{}
+	}
+	sorted := make([]float64, len(v))
+	copy(sorted, v)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	q := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return LatencySummary{
+		N:    len(sorted),
+		Mean: sum / float64(len(sorted)),
+		P50:  q(0.50),
+		P95:  q(0.95),
+		P99:  q(0.99),
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// Throughput reports requested payload bytes per second of I/O time.
+func (r Result) Throughput() float64 {
+	if r.IOTime <= 0 {
+		return 0
+	}
+	return float64(r.RequestedBlocks) * float64(workload.BlockSize) / r.IOTime
+}
+
+// ReadAheadWaste reports the fraction of media traffic that was
+// read-ahead beyond the requested blocks.
+func (r Result) ReadAheadWaste() float64 {
+	if r.MediaBlocks == 0 {
+		return 0
+	}
+	extra := float64(r.MediaBlocks) - float64(r.RequestedBlocks)
+	if extra < 0 {
+		return 0
+	}
+	return extra / float64(r.MediaBlocks)
+}
+
+// rig is an assembled array: simulator, bus, striper and drives.
+type rig struct {
+	sim      *sim.Simulator
+	bus      *bus.Bus
+	striper  array.Striper
+	disks    []*disk.Disk
+	geom     geom.Geometry
+	replicas int
+	logical  int
+}
+
+// buildRig assembles the simulated array for a workload: geometry,
+// capacity check, FOR bitmaps, and one drive per physical disk.
+func buildRig(w *Workload, cfg Config) (*rig, error) {
+	inner := w.inner
+	g := geom.Ultrastar36Z15()
+	if cfg.ZonedGeometry {
+		g = geom.Ultrastar36Z15Zoned()
+	}
+	replicas := 1
+	if cfg.Mirrored {
+		replicas = 2
+	}
+	logical := cfg.Disks / replicas
+	if capacity := int64(logical) * g.Blocks(); inner.Layout.VolumeBlocks() > capacity {
+		return nil, fmt.Errorf("diskthru: workload volume of %d blocks exceeds the array's usable capacity of %d (%d disks, %dx replication)",
+			inner.Layout.VolumeBlocks(), capacity, cfg.Disks, replicas)
+	}
+	unitBlocks := cfg.StripeKB << 10 / g.BlockSize
+	striper := array.NewStriper(logical, unitBlocks)
+
+	s := sim.New()
+	b := bus.New(s, bus.Ultra160())
+
+	var bitmaps []*fslayout.Bitmap
+	if cfg.System == FOR {
+		bitmaps = fslayout.BuildBitmaps(inner.Layout, striper)
+	}
+
+	disks := make([]*disk.Disk, cfg.Disks)
+	for i := range disks {
+		dc := cfg.diskConfig()
+		dc.Geom = g
+		if bitmaps != nil {
+			dc.Bitmap = bitmaps[i/replicas] // replicas share the layout
+		}
+		d, err := disk.New(s, b, i, dc)
+		if err != nil {
+			return nil, fmt.Errorf("disk %d: %w", i, err)
+		}
+		disks[i] = d
+	}
+	return &rig{
+		sim: s, bus: b, striper: striper, disks: disks,
+		geom: g, replicas: replicas, logical: logical,
+	}, nil
+}
+
+// collectResult snapshots the rig's counters into a Result.
+func collectResult(end float64, r *rig, requests uint64) Result {
+	agg := host.Collect(r.disks)
+	res := Result{
+		IOTime:         end,
+		HitRate:        agg.HitRate(),
+		HDCHitRate:     agg.HDCHitRate(),
+		MediaBlocks:    agg.MediaBlocks(),
+		Requests:       requests,
+		BusSeconds:     r.bus.Utilization() * end,
+		BusUtilization: r.bus.Utilization(),
+		PerDisk:        make([]DiskStats, len(r.disks)),
+	}
+	for i, st := range agg.PerDisk {
+		res.RequestedBlocks += st.RequestedBlocks
+		res.PerDisk[i] = DiskStats{
+			Reads:           st.Reads,
+			Writes:          st.Writes,
+			HitRate:         st.HitRate(),
+			HDCHitRate:      st.HDCHitRate(),
+			MediaOps:        st.MediaOps,
+			MediaBlocks:     st.MediaBlocks,
+			RequestedBlocks: st.RequestedBlocks,
+			BusySeconds:     st.BusyTime(),
+		}
+	}
+	return res
+}
+
+// Run replays the workload on an array configured per cfg and returns
+// the measurements. The run is deterministic for a fixed (workload,
+// config) pair.
+func Run(w *Workload, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	inner := w.inner
+	r, err := buildRig(w, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	if cfg.HDCKB > 0 {
+		perDisk := cfg.HDCKB << 10 / r.geom.BlockSize
+		planTrace := planningTrace(inner.Trace, cfg)
+		switch {
+		case cfg.CoopHDC && r.replicas == 2:
+			// Cooperative: plan twice the per-controller capacity per
+			// pair and split it across the replicas, doubling distinct
+			// pinned blocks; reads route to the pinning replica. The
+			// split alternates whole contiguous runs, never single
+			// blocks, so multi-block requests stay fully pinned on one
+			// replica.
+			plan := host.PlanHDC(planTrace, inner.Layout, r.striper, 2*perDisk)
+			for d := 0; d < r.logical; d++ {
+				a, bHalf := splitRuns(plan[d])
+				r.disks[2*d].PinBlocks(a)
+				r.disks[2*d+1].PinBlocks(bHalf)
+			}
+		default:
+			plan := host.PlanHDC(planTrace, inner.Layout, r.striper, perDisk)
+			for i, d := range r.disks {
+				d.PinBlocks(plan[i/r.replicas])
+			}
+		}
+	}
+
+	streams := cfg.Streams
+	if streams <= 0 {
+		streams = inner.Streams
+	}
+	issue := host.IssueAll
+	if cfg.SequentialIssue {
+		issue = host.IssueSequential
+	}
+	h, err := host.New(r.sim, r.disks, r.striper, inner.Layout, host.Config{
+		Streams:       streams,
+		CoalesceProb:  cfg.CoalesceProb,
+		Seed:          cfg.Seed,
+		Issue:         issue,
+		FlushHDCAtEnd: cfg.FlushHDCAtEnd && cfg.HDCKB > 0,
+		SyncHDCEvery:  cfg.SyncHDCSeconds,
+		Replicas:      r.replicas,
+		FailDisk:      cfg.FailedDisk,
+		ArrivalRate:   cfg.ArrivalRate,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	end := h.Replay(inner.Trace)
+	res := collectResult(end, r, h.IssuedRequests)
+	res.Latency = summarizeLatencies(h.Latencies)
+	return res, nil
+}
+
+// splitRuns partitions a pinned-block plan into two halves, alternating
+// whole physically-contiguous runs so a multi-block request is never
+// split across replicas.
+func splitRuns(plan []int64) (a, b []int64) {
+	sorted := make([]int64, len(plan))
+	copy(sorted, plan)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	toA := true
+	for i := 0; i < len(sorted); {
+		j := i + 1
+		for j < len(sorted) && sorted[j] == sorted[j-1]+1 {
+			j++
+		}
+		if toA {
+			a = append(a, sorted[i:j]...)
+		} else {
+			b = append(b, sorted[i:j]...)
+		}
+		toA = !toA
+		i = j
+	}
+	return a, b
+}
+
+// Compare runs the same workload under every system in order and returns
+// the results keyed by position. Convenience for experiment drivers.
+func Compare(w *Workload, base Config, systems []System) ([]Result, error) {
+	out := make([]Result, len(systems))
+	for i, sys := range systems {
+		r, err := Run(w, base.WithSystem(sys))
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", sys, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}

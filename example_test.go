@@ -1,0 +1,80 @@
+package diskthru_test
+
+import (
+	"fmt"
+
+	"diskthru"
+)
+
+// The simulator is deterministic, so examples can assert on real
+// simulation output.
+
+func ExampleSyntheticWorkload() {
+	w, err := diskthru.SyntheticWorkload(diskthru.SyntheticOptions{
+		FileKB:      16,
+		Requests:    1000,
+		FootprintMB: 64,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(w.Name(), w.Records(), "records over", w.Files(), "files")
+	// Output: synthetic-16KB 1000 records over 4096 files
+}
+
+func ExampleRun() {
+	w, err := diskthru.SyntheticWorkload(diskthru.SyntheticOptions{
+		FileKB:      16,
+		Requests:    500,
+		FootprintMB: 64,
+	})
+	if err != nil {
+		panic(err)
+	}
+	cfg := diskthru.DefaultConfig()
+	cfg.Streams = 64
+
+	segm, err := diskthru.Run(w, cfg)
+	if err != nil {
+		panic(err)
+	}
+	forr, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("FOR is faster: %v\n", forr.IOTime < segm.IOTime)
+	fmt.Printf("Segm wastes most of its media traffic: %v\n", segm.ReadAheadWaste() > 0.5)
+	// Output:
+	// FOR is faster: true
+	// Segm wastes most of its media traffic: true
+}
+
+func ExampleCompare() {
+	w, err := diskthru.SyntheticWorkload(diskthru.SyntheticOptions{
+		FileKB:      16,
+		Requests:    500,
+		FootprintMB: 64,
+	})
+	if err != nil {
+		panic(err)
+	}
+	cfg := diskthru.DefaultConfig()
+	cfg.Streams = 64
+	res, err := diskthru.Compare(w, cfg,
+		[]diskthru.System{diskthru.Segm, diskthru.Block, diskthru.NoRA, diskthru.FOR})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("results:", len(res))
+	fmt.Println("every system completed the same requests:",
+		res[0].RequestedBlocks == res[3].RequestedBlocks)
+	// Output:
+	// results: 4
+	// every system completed the same requests: true
+}
+
+func ExampleConfig_WithHDC() {
+	cfg := diskthru.DefaultConfig().WithSystem(diskthru.FOR).WithHDC(2048)
+	fmt.Println(cfg.System, cfg.HDCKB, "KB pinned per controller")
+	// Output: FOR 2048 KB pinned per controller
+}

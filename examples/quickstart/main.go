@@ -1,0 +1,60 @@
+// Quickstart: build the paper's synthetic small-file workload, run it
+// under the conventional controller (Segm), under FOR, and under
+// FOR+HDC, and print the throughput comparison — the 60-second version
+// of the paper's headline result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diskthru"
+)
+
+func main() {
+	// 10 000 whole-file reads of 16-KB files, Zipf(0.4) popularity —
+	// the default synthetic setup of section 6.2.
+	w, err := diskthru.SyntheticWorkload(diskthru.SyntheticOptions{FileKB: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s — %d disk-level records, %d files\n\n",
+		w.Name(), w.Records(), w.Files())
+
+	// Table 1 configuration: 8 x 18-GB Ultrastar-class disks, 4-MB
+	// controller caches, 128-KB segments, LOOK scheduling.
+	cfg := diskthru.DefaultConfig()
+	cfg.Streams = 128
+
+	segm, err := diskthru.Run(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	forr, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR))
+	if err != nil {
+		log.Fatal(err)
+	}
+	combo, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR).WithHDC(2048))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %10s %12s %10s %12s\n", "system", "I/O time", "throughput", "hit rate", "RA waste")
+	for _, row := range []struct {
+		name string
+		r    diskthru.Result
+	}{
+		{"Segm", segm},
+		{"FOR", forr},
+		{"FOR+HDC", combo},
+	} {
+		fmt.Printf("%-10s %9.2fs %9.1f MB/s %9.1f%% %11.1f%%\n",
+			row.name, row.r.IOTime, row.r.Throughput()/1e6,
+			row.r.HitRate*100, row.r.ReadAheadWaste()*100)
+	}
+
+	fmt.Printf("\nFOR improves disk throughput by %.0f%%; FOR+HDC by %.0f%%.\n",
+		(segm.IOTime/forr.IOTime-1)*100, (segm.IOTime/combo.IOTime-1)*100)
+}

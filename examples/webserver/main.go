@@ -1,0 +1,72 @@
+// Webserver: evaluate all four controller systems on the synthesized
+// Rutgers-like Web-server workload across striping-unit sizes — the
+// scenario of the paper's Figure 7 — and report the best configuration.
+//
+//	go run ./examples/webserver [-scale 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"diskthru"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "workload scale (1.0 = the paper's 1.7M-request trace)")
+	flag.Parse()
+
+	w, err := diskthru.WebWorkload(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("web workload at scale %.2f: %d disk-level records, %.0f%% writes, %d files\n\n",
+		*scale, w.Records(), w.WriteFraction()*100, w.Files())
+
+	// HDC sized to the same fraction of the footprint the paper's 2 MB
+	// per controller covers at full scale.
+	hdcKB := int(2048**scale + 0.5)
+	if hdcKB < 4 {
+		hdcKB = 4
+	}
+
+	systems := []struct {
+		name string
+		cfg  func(diskthru.Config) diskthru.Config
+	}{
+		{"Segm", func(c diskthru.Config) diskthru.Config { return c }},
+		{"Segm+HDC", func(c diskthru.Config) diskthru.Config { return c.WithHDC(hdcKB) }},
+		{"FOR", func(c diskthru.Config) diskthru.Config { return c.WithSystem(diskthru.FOR) }},
+		{"FOR+HDC", func(c diskthru.Config) diskthru.Config {
+			return c.WithSystem(diskthru.FOR).WithHDC(hdcKB)
+		}},
+	}
+
+	fmt.Printf("%-9s", "stripeKB")
+	for _, s := range systems {
+		fmt.Printf(" %10s", s.name)
+	}
+	fmt.Println()
+
+	bestTime, bestStripe, bestSys := 0.0, 0, ""
+	for _, stripe := range []int{4, 8, 16, 32, 64, 128, 256} {
+		fmt.Printf("%-9d", stripe)
+		for _, s := range systems {
+			cfg := diskthru.DefaultConfig()
+			cfg.StripeKB = stripe
+			r, err := diskthru.Run(w, s.cfg(cfg))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %9.2fs", r.IOTime)
+			if bestSys == "" || r.IOTime < bestTime {
+				bestTime, bestStripe, bestSys = r.IOTime, stripe, s.name
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nbest configuration: %s with a %d-KB striping unit (%.2fs)\n",
+		bestSys, bestStripe, bestTime)
+}

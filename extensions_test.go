@@ -1,0 +1,348 @@
+package diskthru
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// mirroredFixture lays out on a 4-disk volume so 4-striped and 4x2
+// mirrored arrays can both hold it.
+func mirroredFixture(t *testing.T) *Workload {
+	t.Helper()
+	w, err := SyntheticWorkload(SyntheticOptions{
+		FileKB:       16,
+		Requests:     1500,
+		ZipfAlpha:    0.8,
+		VolumeBlocks: 4 * 4718560,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestMirroringValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mirrored = true
+	cfg.Disks = 7
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("odd-disk mirroring accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.CoopHDC = true
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("coop HDC without mirroring accepted")
+	}
+}
+
+func TestMirroringImprovesReadThroughput(t *testing.T) {
+	w := mirroredFixture(t)
+	striped := DefaultConfig()
+	striped.Streams = 64
+	striped.Disks = 4
+	base, err := Run(w, striped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirrored := DefaultConfig()
+	mirrored.Streams = 64
+	mirrored.Disks = 8
+	mirrored.Mirrored = true
+	mr, err := Run(w, mirrored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read-only workload: twice the spindles per logical drive must help.
+	if mr.IOTime >= base.IOTime {
+		t.Fatalf("mirroring did not help reads: %.3f vs %.3f", mr.IOTime, base.IOTime)
+	}
+	if len(mr.PerDisk) != 8 {
+		t.Fatalf("%d per-disk stats", len(mr.PerDisk))
+	}
+}
+
+func TestMirroredWritesHitBothReplicas(t *testing.T) {
+	w, err := SyntheticWorkload(SyntheticOptions{
+		FileKB:        16,
+		Requests:      500,
+		WriteFraction: 1.0,
+		VolumeBlocks:  4 * 4718560,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Streams = 16
+	cfg.Disks = 8
+	cfg.Mirrored = true
+	r, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every pair's replicas must see identical write counts.
+	for d := 0; d < 8; d += 2 {
+		if r.PerDisk[d].Writes != r.PerDisk[d+1].Writes {
+			t.Fatalf("pair %d writes diverge: %d vs %d",
+				d/2, r.PerDisk[d].Writes, r.PerDisk[d+1].Writes)
+		}
+		if r.PerDisk[d].Writes == 0 {
+			t.Fatalf("pair %d saw no writes", d/2)
+		}
+	}
+}
+
+func TestCoopHDCRaisesHitRate(t *testing.T) {
+	w := mirroredFixture(t)
+	cfg := DefaultConfig().WithHDC(1024)
+	cfg.Streams = 64
+	cfg.Disks = 8
+	cfg.Mirrored = true
+	plain, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CoopHDC = true
+	coop, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coop.HDCHitRate <= plain.HDCHitRate {
+		t.Fatalf("coop HDC hit %.3f not above duplicated %.3f",
+			coop.HDCHitRate, plain.HDCHitRate)
+	}
+	if coop.IOTime >= plain.IOTime {
+		t.Fatalf("coop HDC slower: %.3f vs %.3f", coop.IOTime, plain.IOTime)
+	}
+}
+
+func TestSplitRunsKeepsRunsWhole(t *testing.T) {
+	plan := []int64{10, 11, 12, 50, 51, 90, 7}
+	a, b := splitRuns(plan)
+	if len(a)+len(b) != len(plan) {
+		t.Fatalf("split lost blocks: %v / %v", a, b)
+	}
+	has := func(s []int64, v int64) bool {
+		for _, x := range s {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	// Runs {7}, {10,11,12}, {50,51}, {90} must each land whole.
+	for _, run := range [][]int64{{7}, {10, 11, 12}, {50, 51}, {90}} {
+		inA, inB := 0, 0
+		for _, v := range run {
+			if has(a, v) {
+				inA++
+			}
+			if has(b, v) {
+				inB++
+			}
+		}
+		if inA != 0 && inA != len(run) || inB != 0 && inB != len(run) {
+			t.Fatalf("run %v split across replicas: a=%v b=%v", run, a, b)
+		}
+	}
+}
+
+// Property: splitRuns partitions the plan (no loss, no duplication) and
+// never splits a contiguous run.
+func TestPropertySplitRunsPartition(t *testing.T) {
+	f := func(raw []uint8) bool {
+		seen := map[int64]bool{}
+		var plan []int64
+		for _, v := range raw {
+			b := int64(v)
+			if !seen[b] {
+				seen[b] = true
+				plan = append(plan, b)
+			}
+		}
+		a, b := splitRuns(plan)
+		if len(a)+len(b) != len(plan) {
+			return false
+		}
+		all := append(append([]int64{}, a...), b...)
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		for _, v := range all {
+			if !seen[v] {
+				return false
+			}
+			delete(seen, v)
+		}
+		if len(seen) != 0 {
+			return false
+		}
+		// No run split: for consecutive blocks x, x+1 in the plan, both
+		// must be on the same side.
+		inA := map[int64]bool{}
+		for _, v := range a {
+			inA[v] = true
+		}
+		for _, v := range all {
+			if contains(all, v+1) && inA[v] != inA[v+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func contains(s []int64, v int64) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPeriodicSyncDoesNotInflateMakespan(t *testing.T) {
+	w, err := SyntheticWorkload(SyntheticOptions{
+		FileKB: 16, Requests: 500, ZipfAlpha: 0.8, WriteFraction: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig().WithHDC(2048)
+	base, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SyncHDCSeconds = 30 // longer than the whole run
+	synced, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if synced.IOTime > base.IOTime*1.01 {
+		t.Fatalf("idle sync tick inflated makespan: %.4f vs %.4f", synced.IOTime, base.IOTime)
+	}
+	// Frequent syncs may cost a little, but never an order of magnitude.
+	cfg.SyncHDCSeconds = 0.05
+	busy, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy.IOTime > base.IOTime*1.5 {
+		t.Fatalf("frequent syncs exploded makespan: %.4f vs %.4f", busy.IOTime, base.IOTime)
+	}
+}
+
+func TestSequentialIssueRuns(t *testing.T) {
+	w := syntheticFixture(t, 16)
+	cfg := testConfig()
+	cfg.SequentialIssue = true
+	cfg.CoalesceProb = 0
+	r, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IOTime <= 0 {
+		t.Fatal("sequential issue produced no work")
+	}
+	// Uncoalesced sequential issue must move the same requested bytes.
+	cfg2 := testConfig()
+	cfg2.CoalesceProb = 0
+	r2, err := Run(w, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RequestedBlocks != r2.RequestedBlocks {
+		t.Fatalf("requested blocks differ across dispatch modes: %d vs %d",
+			r.RequestedBlocks, r2.RequestedBlocks)
+	}
+}
+
+func TestVolumeBlocksOptionRespected(t *testing.T) {
+	w, err := SyntheticWorkload(SyntheticOptions{
+		FileKB: 16, Requests: 100, FootprintMB: 16, VolumeBlocks: 1000000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Disks = 2 // 1M blocks fit two disks easily
+	if _, err := Run(w, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenLoopLatencyCollected(t *testing.T) {
+	w := syntheticFixture(t, 16)
+	cfg := testConfig()
+	cfg.ArrivalRate = 300
+	r, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Latency.N == 0 {
+		t.Fatal("no latencies collected")
+	}
+	if r.Latency.Mean <= 0 || r.Latency.P99 < r.Latency.P50 || r.Latency.Max < r.Latency.P99 {
+		t.Fatalf("inconsistent latency summary: %+v", r.Latency)
+	}
+	// Closed-loop runs carry no latency data.
+	closed, err := Run(w, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.Latency.N != 0 {
+		t.Fatal("closed-loop run has latencies")
+	}
+}
+
+func TestOpenLoopLoadRaisesLatency(t *testing.T) {
+	w := syntheticFixture(t, 16)
+	run := func(rate float64) float64 {
+		cfg := testConfig()
+		cfg.ArrivalRate = rate
+		r, err := Run(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Latency.Mean
+	}
+	if light, heavy := run(100), run(900); heavy <= light {
+		t.Fatalf("latency at 900 req/s (%v) not above 100 req/s (%v)", heavy, light)
+	}
+}
+
+func TestFailedDiskValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FailedDisk = 3
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("failed disk without mirroring accepted")
+	}
+	cfg.Mirrored = true
+	cfg.FailedDisk = 9
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("out-of-range failed disk accepted")
+	}
+	cfg.FailedDisk = 3
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailedDiskReceivesNoRequests(t *testing.T) {
+	w := mirroredFixture(t)
+	cfg := DefaultConfig()
+	cfg.Disks = 8
+	cfg.Mirrored = true
+	cfg.FailedDisk = 1
+	r, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PerDisk[0]; got.Reads+got.Writes != 0 {
+		t.Fatalf("failed disk served %d requests", got.Reads+got.Writes)
+	}
+	if r.PerDisk[1].Reads == 0 {
+		t.Fatal("surviving partner served nothing")
+	}
+}

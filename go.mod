@@ -1,0 +1,3 @@
+module diskthru
+
+go 1.22

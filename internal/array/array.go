@@ -1,0 +1,116 @@
+// Package array implements the disk-array striping layer: logical volume
+// blocks are grouped into fixed-size striping units and laid out
+// round-robin across the physical disks (section 2.2 of the paper).
+//
+// The striping map is the bridge between the host's logical view and each
+// controller's physical view, and is what makes blind read-ahead fetch
+// other files' data once the read-ahead size exceeds the striping unit.
+package array
+
+import "fmt"
+
+// Striper maps logical volume blocks to (disk, physical block) and back.
+type Striper struct {
+	// Disks is the number of drives in the array.
+	Disks int
+	// UnitBlocks is the striping-unit size in blocks.
+	UnitBlocks int
+}
+
+// NewStriper validates and returns a striper.
+func NewStriper(disks, unitBlocks int) Striper {
+	s := Striper{Disks: disks, UnitBlocks: unitBlocks}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Validate reports an error for meaningless configurations.
+func (s Striper) Validate() error {
+	if s.Disks <= 0 {
+		return fmt.Errorf("array: %d disks", s.Disks)
+	}
+	if s.UnitBlocks <= 0 {
+		return fmt.Errorf("array: striping unit of %d blocks", s.UnitBlocks)
+	}
+	return nil
+}
+
+// Locate maps a logical block to its disk and per-disk physical block.
+func (s Striper) Locate(logical int64) (disk int, pba int64) {
+	unit := logical / int64(s.UnitBlocks)
+	off := logical % int64(s.UnitBlocks)
+	disk = int(unit % int64(s.Disks))
+	pba = (unit/int64(s.Disks))*int64(s.UnitBlocks) + off
+	return disk, pba
+}
+
+// Logical is the inverse of Locate.
+func (s Striper) Logical(disk int, pba int64) int64 {
+	unitOnDisk := pba / int64(s.UnitBlocks)
+	off := pba % int64(s.UnitBlocks)
+	unit := unitOnDisk*int64(s.Disks) + int64(disk)
+	return unit*int64(s.UnitBlocks) + off
+}
+
+// Run is one physically contiguous extent on a single disk, produced by
+// splitting a logical extent.
+type Run struct {
+	Disk    int
+	PBA     int64 // first physical block on the disk
+	Blocks  int
+	Logical int64 // first logical block of the run
+}
+
+// Split decomposes the logical extent [start, start+count) into per-disk
+// physically contiguous runs. Runs that touch the same disk in
+// physically adjacent units are merged — the host issues them as one
+// scatter-gather request, exactly as a RAID driver would.
+func (s Striper) Split(start int64, count int) []Run {
+	if count <= 0 {
+		return nil
+	}
+	var runs []Run
+	// last run index per disk, to merge adjacent revisits.
+	last := make([]int, s.Disks)
+	for i := range last {
+		last[i] = -1
+	}
+	logical := start
+	remaining := count
+	for remaining > 0 {
+		disk, pba := s.Locate(logical)
+		inUnit := s.UnitBlocks - int(logical%int64(s.UnitBlocks))
+		n := inUnit
+		if n > remaining {
+			n = remaining
+		}
+		if li := last[disk]; li >= 0 && runs[li].PBA+int64(runs[li].Blocks) == pba {
+			runs[li].Blocks += n
+		} else {
+			last[disk] = len(runs)
+			runs = append(runs, Run{Disk: disk, PBA: pba, Blocks: n, Logical: logical})
+		}
+		logical += int64(n)
+		remaining -= n
+	}
+	return runs
+}
+
+// BlocksOnDisk reports how many physical blocks of a volume with
+// volumeBlocks logical blocks land on the given disk.
+func (s Striper) BlocksOnDisk(disk int, volumeBlocks int64) int64 {
+	fullUnits := volumeBlocks / int64(s.UnitBlocks)
+	rem := volumeBlocks % int64(s.UnitBlocks)
+	base := (fullUnits / int64(s.Disks)) * int64(s.UnitBlocks)
+	extraUnits := fullUnits % int64(s.Disks)
+	switch {
+	case int64(disk) < extraUnits:
+		return base + int64(s.UnitBlocks)
+	case int64(disk) == extraUnits:
+		return base + rem
+	default:
+		return base
+	}
+}

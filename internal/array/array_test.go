@@ -1,0 +1,199 @@
+package array
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLocateRoundRobin(t *testing.T) {
+	s := NewStriper(4, 2) // 4 disks, 2-block units
+	cases := []struct {
+		logical int64
+		disk    int
+		pba     int64
+	}{
+		{0, 0, 0}, {1, 0, 1}, // unit 0 -> disk 0
+		{2, 1, 0}, {3, 1, 1}, // unit 1 -> disk 1
+		{6, 3, 0},            // unit 3 -> disk 3
+		{8, 0, 2}, {9, 0, 3}, // unit 4 wraps to disk 0, after unit 0
+	}
+	for _, c := range cases {
+		d, p := s.Locate(c.logical)
+		if d != c.disk || p != c.pba {
+			t.Errorf("Locate(%d) = (%d,%d), want (%d,%d)", c.logical, d, p, c.disk, c.pba)
+		}
+	}
+}
+
+func TestLogicalInverse(t *testing.T) {
+	s := NewStriper(8, 32)
+	for logical := int64(0); logical < 10000; logical += 7 {
+		d, p := s.Locate(logical)
+		if back := s.Logical(d, p); back != logical {
+			t.Fatalf("Logical(Locate(%d)) = %d", logical, back)
+		}
+	}
+}
+
+// Property: Locate/Logical are inverse bijections for any geometry.
+func TestPropertyStripingBijection(t *testing.T) {
+	f := func(disksRaw, unitRaw uint8, logRaw uint32) bool {
+		disks := 1 + int(disksRaw)%16
+		unit := 1 + int(unitRaw)%128
+		s := NewStriper(disks, unit)
+		logical := int64(logRaw)
+		d, p := s.Locate(logical)
+		if d < 0 || d >= disks || p < 0 {
+			return false
+		}
+		return s.Logical(d, p) == logical
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitSingleUnit(t *testing.T) {
+	s := NewStriper(8, 32)
+	runs := s.Split(3, 10) // inside unit 0
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(runs))
+	}
+	r := runs[0]
+	if r.Disk != 0 || r.PBA != 3 || r.Blocks != 10 || r.Logical != 3 {
+		t.Fatalf("run = %+v", r)
+	}
+}
+
+func TestSplitCrossesUnits(t *testing.T) {
+	s := NewStriper(4, 8)
+	runs := s.Split(6, 12) // blocks 6..17: unit0 (6,7), unit1 (8..15), unit2 (16,17)
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs: %+v", len(runs), runs)
+	}
+	want := []Run{
+		{Disk: 0, PBA: 6, Blocks: 2, Logical: 6},
+		{Disk: 1, PBA: 0, Blocks: 8, Logical: 8},
+		{Disk: 2, PBA: 0, Blocks: 2, Logical: 16},
+	}
+	for i, w := range want {
+		if runs[i] != w {
+			t.Fatalf("run %d = %+v, want %+v", i, runs[i], w)
+		}
+	}
+}
+
+func TestSplitMergesDiskRevisits(t *testing.T) {
+	s := NewStriper(2, 4)
+	// 16 blocks from 0: disk0 gets units 0 and 2 (pba 0..7 contiguous),
+	// disk1 gets units 1 and 3.
+	runs := s.Split(0, 16)
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs: %+v", len(runs), runs)
+	}
+	for _, r := range runs {
+		if r.Blocks != 8 || r.PBA != 0 {
+			t.Fatalf("unmerged run %+v", r)
+		}
+	}
+}
+
+func TestSplitSingleDiskFullyContiguous(t *testing.T) {
+	s := NewStriper(1, 4)
+	runs := s.Split(5, 100)
+	if len(runs) != 1 || runs[0].Blocks != 100 || runs[0].PBA != 5 {
+		t.Fatalf("runs = %+v", runs)
+	}
+}
+
+func TestSplitZeroCount(t *testing.T) {
+	s := NewStriper(4, 8)
+	if runs := s.Split(0, 0); runs != nil {
+		t.Fatalf("Split(_,0) = %+v", runs)
+	}
+}
+
+// Property: a split covers exactly the requested logical blocks, each
+// once, and every run maps back consistently.
+func TestPropertySplitCoverage(t *testing.T) {
+	f := func(disksRaw, unitRaw uint8, startRaw uint16, countRaw uint8) bool {
+		disks := 1 + int(disksRaw)%12
+		unit := 1 + int(unitRaw)%64
+		s := NewStriper(disks, unit)
+		start := int64(startRaw)
+		count := 1 + int(countRaw)
+		runs := s.Split(start, count)
+		seen := map[int64]bool{}
+		for _, r := range runs {
+			if r.Blocks <= 0 {
+				return false
+			}
+			for i := 0; i < r.Blocks; i++ {
+				logical := s.Logical(r.Disk, r.PBA+int64(i))
+				if logical < start || logical >= start+int64(count) || seen[logical] {
+					return false
+				}
+				seen[logical] = true
+			}
+		}
+		return len(seen) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlocksOnDiskPartitionsVolume(t *testing.T) {
+	s := NewStriper(8, 32)
+	for _, vol := range []int64{0, 1, 31, 32, 255, 256, 1000, 123457} {
+		var sum int64
+		for d := 0; d < s.Disks; d++ {
+			n := s.BlocksOnDisk(d, vol)
+			if n < 0 {
+				t.Fatalf("negative block count on disk %d", d)
+			}
+			sum += n
+		}
+		if sum != vol {
+			t.Fatalf("vol %d: disks sum to %d", vol, sum)
+		}
+	}
+}
+
+func TestBlocksOnDiskConsistentWithLocate(t *testing.T) {
+	s := NewStriper(3, 5)
+	const vol = 200
+	counts := make([]int64, s.Disks)
+	var maxPBA = make([]int64, s.Disks)
+	for l := int64(0); l < vol; l++ {
+		d, p := s.Locate(l)
+		counts[d]++
+		if p+1 > maxPBA[d] {
+			maxPBA[d] = p + 1
+		}
+	}
+	for d := 0; d < s.Disks; d++ {
+		if got := s.BlocksOnDisk(d, vol); got != counts[d] {
+			t.Fatalf("disk %d: BlocksOnDisk = %d, counted %d", d, got, counts[d])
+		}
+		if maxPBA[d] != counts[d] {
+			t.Fatalf("disk %d: physical space not dense: max pba+1 = %d, count %d", d, maxPBA[d], counts[d])
+		}
+	}
+}
+
+func TestNewStriperPanicsOnBadConfig(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewStriper(0, 8) },
+		func() { NewStriper(8, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,153 @@
+package bufcache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadMissThenHit(t *testing.T) {
+	c := New(4)
+	miss, ev := c.Access(10, false)
+	if !miss || ev.Happened {
+		t.Fatalf("first access: miss=%v ev=%+v", miss, ev)
+	}
+	miss, _ = c.Access(10, false)
+	if miss {
+		t.Fatal("second access missed")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Access(1, false)
+	c.Access(2, false)
+	c.Access(1, false) // refresh 1
+	c.Access(3, false) // evicts 2
+	if miss, _ := c.Access(1, false); miss {
+		t.Fatal("refreshed block evicted")
+	}
+	if miss, _ := c.Access(2, false); !miss {
+		t.Fatal("LRU block survived")
+	}
+}
+
+func TestDirtyEvictionSurfacesWriteback(t *testing.T) {
+	c := New(1)
+	c.Access(5, true) // dirty
+	miss, ev := c.Access(6, false)
+	if !miss || !ev.Happened || !ev.Dirty || ev.Block != 5 {
+		t.Fatalf("miss=%v ev=%+v", miss, ev)
+	}
+	// A clean eviction is still reported (victim-cache candidates) but
+	// not dirty.
+	_, ev = c.Access(7, false)
+	if !ev.Happened || ev.Dirty || ev.Block != 6 {
+		t.Fatalf("clean eviction = %+v", ev)
+	}
+}
+
+func TestWriteHitAbsorbed(t *testing.T) {
+	c := New(2)
+	c.Access(1, true)
+	c.Access(1, true)
+	if c.AbsorbedWrites() != 1 {
+		t.Fatalf("AbsorbedWrites = %d", c.AbsorbedWrites())
+	}
+	// Read hit then write hit still dirties.
+	c.Access(1, false)
+	dirty := c.FlushDirty()
+	if len(dirty) != 1 || dirty[0] != 1 {
+		t.Fatalf("FlushDirty = %v", dirty)
+	}
+}
+
+func TestFlushDirtyClears(t *testing.T) {
+	c := New(4)
+	c.Access(1, true)
+	c.Access(2, false)
+	c.Access(3, true)
+	d := c.FlushDirty()
+	if len(d) != 2 {
+		t.Fatalf("FlushDirty = %v", d)
+	}
+	if again := c.FlushDirty(); len(again) != 0 {
+		t.Fatalf("second flush = %v", again)
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	c := New(3)
+	for i := int64(0); i < 100; i++ {
+		c.Access(i, i%2 == 0)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Capacity() != 3 {
+		t.Fatalf("Capacity = %d", c.Capacity())
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0)
+}
+
+// Property: the cache never exceeds capacity, and a writeback is only
+// ever reported for a block previously written and not since evicted.
+func TestPropertyCacheInvariants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := New(8)
+		dirty := map[int64]bool{}
+		for _, op := range ops {
+			b := int64(op % 64)
+			write := op%3 == 0
+			miss, ev := c.Access(b, write)
+			if ev.Happened {
+				if ev.Dirty != dirty[ev.Block] {
+					return false
+				}
+				delete(dirty, ev.Block)
+			}
+			if write {
+				dirty[b] = true
+			}
+			_ = miss
+			if c.Len() > c.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with capacity >= working set, everything after the first pass
+// hits (no spurious evictions).
+func TestPropertyNoSpuriousEvictions(t *testing.T) {
+	f := func(n uint8) bool {
+		size := int(n%16) + 1
+		c := New(32)
+		for i := 0; i < size; i++ {
+			c.Access(int64(i), false)
+		}
+		for i := 0; i < size; i++ {
+			if miss, _ := c.Access(int64(i), false); miss {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

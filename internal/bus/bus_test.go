@@ -1,0 +1,100 @@
+package bus
+
+import (
+	"math"
+	"testing"
+
+	"diskthru/internal/sim"
+)
+
+func TestTransferTiming(t *testing.T) {
+	s := sim.New()
+	b := New(s, Config{BytesPerSecond: 1e6, CommandOverhead: 0.001})
+	var done sim.Time
+	s.At(0, func(sim.Time) {
+		b.Transfer(1000, func(now sim.Time) { done = now })
+	})
+	s.Run()
+	want := 0.001 + 0.001 // overhead + 1000B at 1MB/s
+	if math.Abs(done-want) > 1e-12 {
+		t.Fatalf("transfer completed at %v, want %v", done, want)
+	}
+	if b.Bytes != 1000 || b.Transfers() != 1 {
+		t.Fatalf("Bytes=%d Transfers=%d", b.Bytes, b.Transfers())
+	}
+}
+
+func TestTransfersContendFIFO(t *testing.T) {
+	s := sim.New()
+	b := New(s, Config{BytesPerSecond: 1e6, CommandOverhead: 0})
+	var order []int
+	s.At(0, func(sim.Time) {
+		b.Transfer(1000, func(sim.Time) { order = append(order, 1) })
+		b.Transfer(1000, func(sim.Time) { order = append(order, 2) })
+	})
+	end := s.Run()
+	if math.Abs(end-0.002) > 1e-12 {
+		t.Fatalf("two transfers finished at %v, want 0.002 (serialized)", end)
+	}
+	if len(order) != 2 || order[0] != 1 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestUltra160Defaults(t *testing.T) {
+	cfg := Ultra160()
+	if cfg.BytesPerSecond != 160e6 {
+		t.Fatalf("bandwidth = %v", cfg.BytesPerSecond)
+	}
+	if cfg.CommandOverhead <= 0 || cfg.CommandOverhead > 0.001 {
+		t.Fatalf("overhead = %v", cfg.CommandOverhead)
+	}
+}
+
+func TestZeroByteTransferPaysOverhead(t *testing.T) {
+	s := sim.New()
+	b := New(s, Ultra160())
+	var done sim.Time
+	s.At(0, func(sim.Time) {
+		b.Transfer(0, func(now sim.Time) { done = now })
+	})
+	s.Run()
+	if done != Ultra160().CommandOverhead {
+		t.Fatalf("zero-byte transfer at %v", done)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	s := sim.New()
+	for _, cfg := range []Config{
+		{BytesPerSecond: 0},
+		{BytesPerSecond: 1, CommandOverhead: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v did not panic", cfg)
+				}
+			}()
+			New(s, cfg)
+		}()
+	}
+	b := New(s, Ultra160())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative transfer did not panic")
+		}
+	}()
+	b.Transfer(-1, nil)
+}
+
+func TestUtilizationReflectsLoad(t *testing.T) {
+	s := sim.New()
+	b := New(s, Config{BytesPerSecond: 1e6, CommandOverhead: 0})
+	s.At(0, func(sim.Time) { b.Transfer(500, nil) }) // 0.5 ms busy
+	s.At(0.001, func(sim.Time) {})                   // extend sim to 1 ms
+	s.Run()
+	if u := b.Utilization(); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+}

@@ -1,0 +1,377 @@
+// Package cache implements the disk-controller cache organizations the
+// paper studies:
+//
+//   - SegmentStore: the conventional organization — a fixed number of
+//     segments, each holding one sequential stream, replaced whole under
+//     LRU (section 2.1).
+//   - BlockStore: the block-based organization introduced for FOR —
+//     blocks allocated on demand from a free pool and evicted
+//     individually under MRU (the paper's choice) or LRU (section 4).
+//   - HDCRegion: the host-guided, pinned portion of the cache with the
+//     pin_blk / unpin_blk / flush_hdc command surface (section 5).
+//
+// All addresses are per-disk physical block numbers. None of these types
+// hold data; the simulator only tracks residency.
+package cache
+
+// Store is the read-ahead (replaceable) portion of a controller cache.
+type Store interface {
+	// Contains reports whether the block is resident.
+	Contains(lba int64) bool
+	// Touch records a hit on a resident block, updating recency.
+	Touch(lba int64)
+	// Insert records that blocks [lba, lba+count) arrived from media,
+	// evicting as needed.
+	Insert(lba int64, count int)
+	// Len reports resident blocks; Capacity the maximum.
+	Len() int
+	Capacity() int
+	// Evictions reports how many blocks have been displaced so far.
+	Evictions() uint64
+	// Name identifies the organization for reports.
+	Name() string
+}
+
+// ---- Segment store ---------------------------------------------------------
+
+type segment struct {
+	blocks []int64 // resident block addresses, in insertion order
+	lru    uint64  // last-use stamp
+}
+
+// SegmentStore is the conventional segment-based controller cache: up to
+// NumSegments streams, whole-segment LRU replacement, at most
+// SegmentBlocks blocks per segment.
+type SegmentStore struct {
+	segBlocks int
+	segs      []segment
+	index     map[int64]int // block -> segment slot
+	clock     uint64
+	evicted   uint64
+}
+
+// NewSegmentStore returns a store with numSegments segments of
+// segmentBlocks blocks each.
+func NewSegmentStore(numSegments, segmentBlocks int) *SegmentStore {
+	if numSegments <= 0 || segmentBlocks <= 0 {
+		panic("cache: segment store needs positive dimensions")
+	}
+	return &SegmentStore{
+		segBlocks: segmentBlocks,
+		segs:      make([]segment, numSegments),
+		index:     make(map[int64]int),
+	}
+}
+
+// Name implements Store.
+func (s *SegmentStore) Name() string { return "segment" }
+
+// Capacity implements Store.
+func (s *SegmentStore) Capacity() int { return len(s.segs) * s.segBlocks }
+
+// Len implements Store.
+func (s *SegmentStore) Len() int { return len(s.index) }
+
+// Evictions implements Store.
+func (s *SegmentStore) Evictions() uint64 { return s.evicted }
+
+// NumSegments reports the segment count.
+func (s *SegmentStore) NumSegments() int { return len(s.segs) }
+
+// Contains implements Store.
+func (s *SegmentStore) Contains(lba int64) bool {
+	_, ok := s.index[lba]
+	return ok
+}
+
+// Touch implements Store.
+func (s *SegmentStore) Touch(lba int64) {
+	if slot, ok := s.index[lba]; ok {
+		s.clock++
+		s.segs[slot].lru = s.clock
+	}
+}
+
+// Insert implements Store. The incoming run is treated as a new stream:
+// it takes over the least-recently-used segment, evicting that segment's
+// entire previous contents (the paper's whole-victim replacement). Runs
+// longer than a segment are truncated to the segment size.
+func (s *SegmentStore) Insert(lba int64, count int) {
+	if count <= 0 {
+		return
+	}
+	if count > s.segBlocks {
+		count = s.segBlocks
+	}
+	victim := 0
+	for i := 1; i < len(s.segs); i++ {
+		if s.segs[i].lru < s.segs[victim].lru {
+			victim = i
+		}
+	}
+	seg := &s.segs[victim]
+	for _, b := range seg.blocks {
+		// A block may have been re-indexed into a newer segment; only
+		// drop the mapping if it still points at the victim.
+		if s.index[b] == victim {
+			delete(s.index, b)
+			s.evicted++
+		}
+	}
+	seg.blocks = seg.blocks[:0]
+	for i := 0; i < count; i++ {
+		b := lba + int64(i)
+		seg.blocks = append(seg.blocks, b)
+		s.index[b] = victim
+	}
+	s.clock++
+	seg.lru = s.clock
+}
+
+// ---- Block store -----------------------------------------------------------
+
+// EvictPolicy selects which resident block a BlockStore displaces.
+type EvictPolicy int
+
+const (
+	// EvictLRU displaces the least recently used block.
+	EvictLRU EvictPolicy = iota
+	// EvictMRU displaces the most recently used block — the paper's
+	// policy for FOR, which protects older streams from a burst.
+	EvictMRU
+)
+
+// String names the policy.
+func (p EvictPolicy) String() string {
+	if p == EvictMRU {
+		return "MRU"
+	}
+	return "LRU"
+}
+
+type blockNode struct {
+	lba        int64
+	prev, next *blockNode
+}
+
+// BlockStore is the block-based cache organization: a pool of capacity
+// blocks assigned to streams on demand, evicted one block at a time.
+type BlockStore struct {
+	capacity int
+	policy   EvictPolicy
+	index    map[int64]*blockNode
+	// Recency list: head is most recent, tail least recent.
+	head, tail *blockNode
+	evicted    uint64
+}
+
+// NewBlockStore returns an empty pool of capacity blocks using the given
+// eviction policy.
+func NewBlockStore(capacity int, policy EvictPolicy) *BlockStore {
+	if capacity <= 0 {
+		panic("cache: block store needs positive capacity")
+	}
+	return &BlockStore{
+		capacity: capacity,
+		policy:   policy,
+		index:    make(map[int64]*blockNode, capacity),
+	}
+}
+
+// Name implements Store.
+func (s *BlockStore) Name() string { return "block-" + s.policy.String() }
+
+// Capacity implements Store.
+func (s *BlockStore) Capacity() int { return s.capacity }
+
+// Len implements Store.
+func (s *BlockStore) Len() int { return len(s.index) }
+
+// Evictions implements Store.
+func (s *BlockStore) Evictions() uint64 { return s.evicted }
+
+// Policy reports the eviction policy.
+func (s *BlockStore) Policy() EvictPolicy { return s.policy }
+
+// Contains implements Store.
+func (s *BlockStore) Contains(lba int64) bool {
+	_, ok := s.index[lba]
+	return ok
+}
+
+func (s *BlockStore) unlink(n *blockNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (s *BlockStore) pushFront(n *blockNode) {
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+// Touch implements Store. Under LRU a hit promotes the block; under MRU
+// it does not — MRU recency is insertion order, so that a burst of new
+// streams evicts its own freshly-fetched blocks rather than the blocks
+// of established streams (the protection the paper's MRU choice is
+// after). Promoting on hit would instead make every hit block the next
+// victim, which inverts the policy's purpose on reuse-heavy workloads.
+func (s *BlockStore) Touch(lba int64) {
+	if s.policy == EvictMRU {
+		return
+	}
+	if n, ok := s.index[lba]; ok {
+		s.unlink(n)
+		s.pushFront(n)
+	}
+}
+
+// Insert implements Store. Each block of the run is added most-recent
+// first; when the pool is full, a victim is chosen by the eviction
+// policy. Under MRU the victim is the most recently used block other
+// than those inserted by this same call, so a long read-ahead cannot
+// evict its own head.
+func (s *BlockStore) Insert(lba int64, count int) {
+	for i := 0; i < count; i++ {
+		b := lba + int64(i)
+		if n, ok := s.index[b]; ok {
+			s.unlink(n)
+			s.pushFront(n)
+			continue
+		}
+		if len(s.index) >= s.capacity {
+			s.evictOne(lba, i)
+		}
+		n := &blockNode{lba: b}
+		s.index[b] = n
+		s.pushFront(n)
+	}
+}
+
+// evictOne removes one block. runStart/len identify the in-flight run so
+// MRU can skip blocks it just inserted.
+func (s *BlockStore) evictOne(runStart int64, runLen int) {
+	var victim *blockNode
+	switch s.policy {
+	case EvictMRU:
+		for n := s.head; n != nil; n = n.next {
+			if n.lba >= runStart && n.lba < runStart+int64(runLen) {
+				continue
+			}
+			victim = n
+			break
+		}
+		if victim == nil {
+			victim = s.tail
+		}
+	default: // EvictLRU
+		victim = s.tail
+	}
+	s.unlink(victim)
+	delete(s.index, victim.lba)
+	s.evicted++
+}
+
+// ---- HDC region -------------------------------------------------------------
+
+// HDCRegion is the host-managed, pinned portion of a controller cache.
+// Pinned blocks are never replaced; dirty pinned blocks accumulate until
+// the host issues flush_hdc.
+type HDCRegion struct {
+	capacity int
+	pinned   map[int64]bool // block -> dirty
+}
+
+// NewHDCRegion returns a region able to pin capacity blocks. A zero
+// capacity is legal and models a drive with HDC disabled.
+func NewHDCRegion(capacity int) *HDCRegion {
+	if capacity < 0 {
+		panic("cache: negative HDC capacity")
+	}
+	return &HDCRegion{capacity: capacity, pinned: make(map[int64]bool)}
+}
+
+// Capacity reports the maximum number of pinned blocks.
+func (h *HDCRegion) Capacity() int { return h.capacity }
+
+// Len reports currently pinned blocks.
+func (h *HDCRegion) Len() int { return len(h.pinned) }
+
+// Contains reports whether the block is pinned.
+func (h *HDCRegion) Contains(lba int64) bool {
+	_, ok := h.pinned[lba]
+	return ok
+}
+
+// Pin implements pin_blk: it marks the block non-replaceable. It reports
+// false when the region is full or the block is already pinned.
+func (h *HDCRegion) Pin(lba int64) bool {
+	if _, ok := h.pinned[lba]; ok {
+		return false
+	}
+	if len(h.pinned) >= h.capacity {
+		return false
+	}
+	h.pinned[lba] = false
+	return true
+}
+
+// Unpin implements unpin_blk. It reports whether the block was pinned,
+// and whether it was dirty (the caller must then write it back).
+func (h *HDCRegion) Unpin(lba int64) (was, dirty bool) {
+	d, ok := h.pinned[lba]
+	if !ok {
+		return false, false
+	}
+	delete(h.pinned, lba)
+	return true, d
+}
+
+// MarkDirty records a write absorbed by a pinned block. It reports false
+// if the block is not pinned.
+func (h *HDCRegion) MarkDirty(lba int64) bool {
+	if _, ok := h.pinned[lba]; !ok {
+		return false
+	}
+	h.pinned[lba] = true
+	return true
+}
+
+// Flush implements flush_hdc: it returns the sorted-iteration-free list
+// of dirty pinned blocks and clears their dirty flags. The caller
+// schedules the actual media writes.
+func (h *HDCRegion) Flush() []int64 {
+	var dirty []int64
+	for b, d := range h.pinned {
+		if d {
+			dirty = append(dirty, b)
+			h.pinned[b] = false
+		}
+	}
+	return dirty
+}
+
+// DirtyCount reports how many pinned blocks are currently dirty.
+func (h *HDCRegion) DirtyCount() int {
+	n := 0
+	for _, d := range h.pinned {
+		if d {
+			n++
+		}
+	}
+	return n
+}

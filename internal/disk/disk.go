@@ -1,0 +1,478 @@
+// Package disk assembles one complete disk drive: the mechanical model,
+// the controller's request queue (LOOK by default), and the controller
+// cache in any of the organizations the paper compares — conventional
+// segments with blind read-ahead, block-based with blind read-ahead,
+// block-based with no read-ahead, and FOR — optionally carved down by an
+// HDC pinned region and the FOR bitmap's memory overhead.
+package disk
+
+import (
+	"fmt"
+
+	"diskthru/internal/bus"
+	"diskthru/internal/cache"
+	"diskthru/internal/fslayout"
+	"diskthru/internal/geom"
+	"diskthru/internal/sched"
+	"diskthru/internal/sim"
+)
+
+// Org selects the controller-cache organization.
+type Org int
+
+const (
+	// OrgSegment is the conventional segment cache (whole-victim LRU).
+	OrgSegment Org = iota
+	// OrgBlock is the block-based pool organization.
+	OrgBlock
+)
+
+// ReadAhead selects the controller's read-ahead strategy.
+type ReadAhead int
+
+const (
+	// RABlind always reads a full read-ahead unit (one segment's worth)
+	// of physically consecutive blocks — the conventional drive.
+	RABlind ReadAhead = iota
+	// RANone disables read-ahead: only the requested blocks are read.
+	RANone
+	// RAFOR consults the FOR continuation bitmap and stops at the first
+	// block that is not a same-file continuation.
+	RAFOR
+)
+
+// String names the strategy.
+func (r ReadAhead) String() string {
+	switch r {
+	case RABlind:
+		return "blind"
+	case RANone:
+		return "none"
+	case RAFOR:
+		return "FOR"
+	default:
+		return fmt.Sprintf("ReadAhead(%d)", int(r))
+	}
+}
+
+// Config describes one drive.
+type Config struct {
+	Geom  geom.Geometry
+	Sched sched.Policy
+
+	// CacheBytes is the controller's total memory (paper: 4 MB).
+	CacheBytes int
+	// SegmentBytes is the segment / read-ahead unit size (paper: 128 KB).
+	SegmentBytes int
+	// MaxSegments caps the segment count (paper: 27 for 128-KB segments).
+	MaxSegments int
+
+	Org        Org
+	BlockEvict cache.EvictPolicy
+	ReadAhead  ReadAhead
+	// Bitmap is the FOR continuation bitmap; required when ReadAhead is
+	// RAFOR. Its SizeBytes() is charged against CacheBytes.
+	Bitmap *fslayout.Bitmap
+	// HDCBytes is the host-guided region carved out of CacheBytes.
+	HDCBytes int
+	// CommandOverhead is the fixed controller cost per media operation
+	// (command decode, setup, completion) in seconds. Typical SCSI
+	// drives spend a few hundred microseconds; this is what makes many
+	// small operations slower than one large one even when the data
+	// streams sequentially.
+	CommandOverhead float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Geom.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.CacheBytes <= 0:
+		return fmt.Errorf("disk: cache of %d bytes", c.CacheBytes)
+	case c.SegmentBytes <= 0 || c.SegmentBytes%c.Geom.BlockSize != 0:
+		return fmt.Errorf("disk: segment bytes %d not a positive multiple of block size", c.SegmentBytes)
+	case c.MaxSegments <= 0:
+		return fmt.Errorf("disk: max segments %d", c.MaxSegments)
+	case c.HDCBytes < 0:
+		return fmt.Errorf("disk: negative HDC bytes")
+	case c.CommandOverhead < 0:
+		return fmt.Errorf("disk: negative command overhead")
+	case c.ReadAhead == RAFOR && c.Bitmap == nil:
+		return fmt.Errorf("disk: FOR read-ahead requires a bitmap")
+	}
+	if _, err := c.storeBudget(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// storeBudget computes the bytes left for the replaceable store after the
+// HDC region and (for FOR) the bitmap are carved out.
+func (c Config) storeBudget() (int, error) {
+	budget := c.CacheBytes - c.HDCBytes
+	if c.ReadAhead == RAFOR && c.Bitmap != nil {
+		budget -= c.Bitmap.SizeBytes()
+	}
+	if budget < c.Geom.BlockSize {
+		return 0, fmt.Errorf("disk: cache budget %d bytes leaves no room for a read-ahead store", budget)
+	}
+	return budget, nil
+}
+
+// Stats aggregates one drive's counters. Times are in seconds.
+type Stats struct {
+	Reads  uint64 // read requests submitted
+	Writes uint64 // write requests submitted
+
+	ReadHits     uint64 // reads fully served from cache at submit
+	LateHits     uint64 // reads found fully cached when dequeued
+	HDCReadHits  uint64 // reads absorbed by the pinned region
+	HDCWriteHits uint64 // writes absorbed by the pinned region
+
+	MediaOps        uint64 // platter operations performed
+	MediaBlocks     uint64 // blocks moved to/from media (incl. read-ahead)
+	RequestedBlocks uint64 // blocks the host actually asked for
+
+	SeekTime     float64
+	RotTime      float64
+	TransferTime float64
+	OverheadTime float64 // per-command controller processing
+}
+
+// BusyTime reports total busy seconds at the drive.
+func (s Stats) BusyTime() float64 {
+	return s.SeekTime + s.RotTime + s.TransferTime + s.OverheadTime
+}
+
+// Accesses reports total requests.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// HitRate reports the fraction of requests served without a media
+// operation.
+func (s Stats) HitRate() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	hits := s.ReadHits + s.LateHits + s.HDCReadHits + s.HDCWriteHits
+	return float64(hits) / float64(s.Accesses())
+}
+
+// HDCHitRate reports the fraction of requests absorbed by the pinned
+// region, the quantity plotted in Figures 5, 8, 10 and 12.
+func (s Stats) HDCHitRate() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	return float64(s.HDCReadHits+s.HDCWriteHits) / float64(s.Accesses())
+}
+
+// Request is one host-issued, per-disk operation on physically
+// contiguous blocks.
+type Request struct {
+	PBA    int64
+	Blocks int
+	Write  bool
+	// Done fires when the data has crossed the bus (reads) or the write
+	// has been absorbed or committed.
+	Done sim.Event
+}
+
+// Disk is a running drive bound to a simulator and a shared bus.
+type Disk struct {
+	ID  int
+	cfg Config
+
+	sim *sim.Simulator
+	bus *bus.Bus
+
+	queue   sched.Queue
+	headCyl int
+	busy    bool
+
+	store cache.Store
+	hdc   *cache.HDCRegion
+
+	stats Stats
+}
+
+// New builds a drive. The controller memory left after the HDC region
+// and bitmap overhead becomes the replaceable store: whole segments for
+// OrgSegment (capped at MaxSegments), a block pool for OrgBlock.
+func New(s *sim.Simulator, b *bus.Bus, id int, cfg Config) (*Disk, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	budget, err := cfg.storeBudget()
+	if err != nil {
+		return nil, err
+	}
+	d := &Disk{ID: id, cfg: cfg, sim: s, bus: b, queue: sched.New(cfg.Sched)}
+	segBlocks := cfg.SegmentBytes / cfg.Geom.BlockSize
+	switch cfg.Org {
+	case OrgSegment:
+		n := budget / cfg.SegmentBytes
+		if n > cfg.MaxSegments {
+			n = cfg.MaxSegments
+		}
+		if n < 1 {
+			n = 1
+		}
+		d.store = cache.NewSegmentStore(n, segBlocks)
+	case OrgBlock:
+		n := budget / cfg.Geom.BlockSize
+		d.store = cache.NewBlockStore(n, cfg.BlockEvict)
+	default:
+		return nil, fmt.Errorf("disk: unknown cache organization %d", int(cfg.Org))
+	}
+	d.hdc = cache.NewHDCRegion(cfg.HDCBytes / cfg.Geom.BlockSize)
+	return d, nil
+}
+
+// Stats returns a copy of the drive's counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// Store exposes the replaceable store for inspection in tests.
+func (d *Disk) Store() cache.Store { return d.store }
+
+// HDC exposes the pinned region (the pin_blk/unpin_blk surface).
+func (d *Disk) HDC() *cache.HDCRegion { return d.hdc }
+
+// QueueLen reports pending media operations.
+func (d *Disk) QueueLen() int { return d.queue.Len() }
+
+// BlockSize reports the drive's logical block size in bytes.
+func (d *Disk) BlockSize() int { return d.cfg.Geom.BlockSize }
+
+// PinBlocks pins as many of the given physical blocks as fit in the HDC
+// region and returns how many were pinned. Used by the host's HDC
+// planner at the start of a period; the paper does not charge the
+// preload against the measured run.
+func (d *Disk) PinBlocks(pbas []int64) int {
+	n := 0
+	for _, p := range pbas {
+		if d.hdc.Pin(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// segBlocks reports the read-ahead unit in blocks.
+func (d *Disk) segBlocks() int { return d.cfg.SegmentBytes / d.cfg.Geom.BlockSize }
+
+// resident reports whether every block of [pba, pba+n) can be served
+// from the controller (pinned region or store).
+func (d *Disk) resident(pba int64, n int) bool {
+	for i := 0; i < n; i++ {
+		b := pba + int64(i)
+		if !d.hdc.Contains(b) && !d.store.Contains(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// PinnedAll reports whether every block of [pba, pba+n) is pinned in
+// the HDC region — used by mirrored hosts to route reads to the replica
+// that can serve them without a media access.
+func (d *Disk) PinnedAll(pba int64, n int) bool {
+	for i := 0; i < n; i++ {
+		if !d.hdc.Contains(pba + int64(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// touchRange refreshes recency for resident blocks.
+func (d *Disk) touchRange(pba int64, n int) {
+	for i := 0; i < n; i++ {
+		d.store.Touch(pba + int64(i))
+	}
+}
+
+// Submit accepts one request. The controller checks its cache before
+// queueing (paper section 6.1); hits go straight to the bus.
+func (d *Disk) Submit(r Request) {
+	if r.Blocks <= 0 {
+		panic(fmt.Sprintf("disk: request of %d blocks", r.Blocks))
+	}
+	bytes := r.Blocks * d.cfg.Geom.BlockSize
+	if r.Write {
+		d.stats.Writes++
+		d.stats.RequestedBlocks += uint64(r.Blocks)
+		if d.PinnedAll(r.PBA, r.Blocks) {
+			// Absorbed by the pinned region: host->controller transfer
+			// only; media write deferred until flush_hdc.
+			d.stats.HDCWriteHits++
+			for i := 0; i < r.Blocks; i++ {
+				d.hdc.MarkDirty(r.PBA + int64(i))
+			}
+			d.bus.Transfer(bytes, r.Done)
+			return
+		}
+		d.bus.Transfer(bytes, func(sim.Time) { d.enqueue(r) })
+		return
+	}
+
+	d.stats.Reads++
+	d.stats.RequestedBlocks += uint64(r.Blocks)
+	if d.PinnedAll(r.PBA, r.Blocks) {
+		d.stats.HDCReadHits++
+		d.bus.Transfer(bytes, r.Done)
+		return
+	}
+	if d.resident(r.PBA, r.Blocks) {
+		d.stats.ReadHits++
+		d.touchRange(r.PBA, r.Blocks)
+		d.bus.Transfer(bytes, r.Done)
+		return
+	}
+	d.enqueue(r)
+}
+
+func (d *Disk) enqueue(r Request) {
+	cyl := d.cfg.Geom.BlockPos(r.PBA).Cylinder
+	d.queue.Push(sched.Request{Cyl: cyl, Payload: r})
+	if !d.busy {
+		d.busy = true
+		d.sim.After(0, func(sim.Time) { d.serviceNext() })
+	}
+}
+
+// serviceNext pops one request and performs its media operation.
+func (d *Disk) serviceNext() {
+	item, ok := d.queue.Next(d.headCyl)
+	if !ok {
+		d.busy = false
+		return
+	}
+	r := item.Payload.(Request)
+
+	if !r.Write && d.resident(r.PBA, r.Blocks) {
+		// Satisfied while queued by an earlier operation's read-ahead.
+		d.stats.LateHits++
+		d.touchRange(r.PBA, r.Blocks)
+		d.bus.Transfer(r.Blocks*d.cfg.Geom.BlockSize, r.Done)
+		d.serviceNext()
+		return
+	}
+
+	count := r.Blocks
+	if !r.Write {
+		count = d.readAheadCount(r)
+	}
+	acc := d.cfg.Geom.MediaOp(d.headCyl, r.PBA, count, d.sim.Now()+d.cfg.CommandOverhead)
+	d.headCyl = acc.EndCylinder
+	d.stats.MediaOps++
+	d.stats.MediaBlocks += uint64(count)
+	d.stats.SeekTime += acc.SeekTime
+	d.stats.RotTime += acc.RotWait
+	d.stats.TransferTime += acc.TransferTime
+	d.stats.OverheadTime += d.cfg.CommandOverhead
+
+	d.sim.After(d.cfg.CommandOverhead+acc.Total(), func(sim.Time) {
+		if r.Write {
+			d.touchRange(r.PBA, r.Blocks)
+			if r.Done != nil {
+				r.Done(d.sim.Now())
+			}
+		} else {
+			d.insertRead(r.PBA, count)
+			d.bus.Transfer(r.Blocks*d.cfg.Geom.BlockSize, r.Done)
+		}
+		d.serviceNext()
+	})
+}
+
+// readAheadCount decides how many blocks the media operation reads.
+func (d *Disk) readAheadCount(r Request) int {
+	count := r.Blocks
+	switch d.cfg.ReadAhead {
+	case RANone:
+		// Just the requested blocks.
+	case RABlind:
+		if unit := d.segBlocks(); count < unit {
+			count = unit
+		}
+	case RAFOR:
+		if run := d.cfg.Bitmap.Run(r.PBA, d.segBlocks()); run > count {
+			count = run
+		}
+	}
+	// Never read past the end of the bitmap's disk / the platter.
+	if maxBlocks := d.cfg.Geom.Blocks(); r.PBA+int64(count) > maxBlocks {
+		count = int(maxBlocks - r.PBA)
+	}
+	return count
+}
+
+// insertRead places media-read blocks into the store, skipping pinned
+// blocks (they are already resident and must not occupy pool space).
+func (d *Disk) insertRead(pba int64, count int) {
+	runStart := pba
+	runLen := 0
+	flush := func() {
+		if runLen > 0 {
+			d.store.Insert(runStart, runLen)
+			runLen = 0
+		}
+	}
+	for i := 0; i < count; i++ {
+		b := pba + int64(i)
+		if d.hdc.Contains(b) {
+			flush()
+			runStart = b + 1
+			continue
+		}
+		if runLen == 0 {
+			runStart = b
+		}
+		runLen++
+	}
+	flush()
+}
+
+// FlushHDC writes all dirty pinned blocks back to media, as flush_hdc()
+// does, and fires done when the last one commits. Dirty blocks are
+// grouped into physically contiguous runs to model the coalesced
+// writeback an operating system would issue.
+func (d *Disk) FlushHDC(done sim.Event) {
+	dirty := d.hdc.Flush()
+	if len(dirty) == 0 {
+		if done != nil {
+			d.sim.After(0, done)
+		}
+		return
+	}
+	sortInt64s(dirty)
+	remaining := 0
+	complete := func(sim.Time) {
+		remaining--
+		if remaining == 0 && done != nil {
+			done(d.sim.Now())
+		}
+	}
+	i := 0
+	for i < len(dirty) {
+		j := i + 1
+		for j < len(dirty) && dirty[j] == dirty[j-1]+1 {
+			j++
+		}
+		remaining++
+		d.enqueue(Request{PBA: dirty[i], Blocks: j - i, Write: true, Done: complete})
+		i = j
+	}
+}
+
+func sortInt64s(v []int64) {
+	// Insertion sort: flush lists are short and this avoids pulling in
+	// sort for a hot path that is not hot.
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package dist provides the deterministic random variates the workload
+// generators draw from: the Bradford/Zipf popularity distribution used
+// throughout the paper's synthetic evaluation (section 6.2), plus
+// lognormal and bounded-Pareto file-size models for the server workload
+// synthesizers.
+//
+// Everything is seeded explicitly; two generators built with the same
+// parameters and seed produce identical streams, which the experiment
+// reproducibility tests rely on.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NewRand returns a deterministic source for the given seed.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Zipf draws ranks 1..N with P(rank=i) proportional to 1/i^Alpha.
+// Alpha = 0 degenerates to the uniform distribution; larger Alpha
+// concentrates probability on low ranks. This matches the paper's use of
+// a "Bradford Zipf distribution" with alpha between 0 and 1.
+type Zipf struct {
+	n     int
+	alpha float64
+	cum   []float64 // cum[i] = P(rank <= i+1)
+}
+
+// NewZipf builds the distribution over n ranks with skew alpha >= 0.
+func NewZipf(n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("dist: zipf over %d ranks", n))
+	}
+	if alpha < 0 {
+		panic(fmt.Sprintf("dist: negative zipf alpha %v", alpha))
+	}
+	z := &Zipf{n: n, alpha: alpha, cum: make([]float64, n)}
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += math.Pow(float64(i), -alpha)
+		z.cum[i-1] = sum
+	}
+	inv := 1 / sum
+	for i := range z.cum {
+		z.cum[i] *= inv
+	}
+	z.cum[n-1] = 1 // guard against rounding
+	return z
+}
+
+// N reports the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// Alpha reports the skew parameter.
+func (z *Zipf) Alpha() float64 { return z.alpha }
+
+// Rank draws a rank in [0, N) — rank 0 is the most popular item.
+func (z *Zipf) Rank(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// P reports the probability of rank i (0-based).
+func (z *Zipf) P(i int) float64 {
+	if i == 0 {
+		return z.cum[0]
+	}
+	return z.cum[i] - z.cum[i-1]
+}
+
+// CumP reports the accumulated probability of the first k ranks — the
+// z_alpha(H, N) term in the paper's HDC hit-rate model (section 5).
+func (z *Zipf) CumP(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= z.n {
+		return 1
+	}
+	return z.cum[k-1]
+}
+
+// ZipfHitRate is the paper's closed-form approximation of the HDC hit
+// rate: the accumulated Zipf probability of caching the h most-accessed
+// of n blocks, h = z_alpha(H, N).
+func ZipfHitRate(alpha float64, h, n int) float64 {
+	if h <= 0 || n <= 0 {
+		return 0
+	}
+	return NewZipf(n, alpha).CumP(h)
+}
+
+// LogNormal models file sizes with the heavy-ish right tail seen in web
+// and file-system datasets. Mu and Sigma are the parameters of the
+// underlying normal in log space.
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// LogNormalFromMeanMedian builds a lognormal with the given median and
+// mean (mean > median required; web file-size fits are usually quoted
+// this way).
+func LogNormalFromMeanMedian(mean, median float64) LogNormal {
+	if median <= 0 || mean <= median {
+		panic(fmt.Sprintf("dist: lognormal needs mean %v > median %v > 0", mean, median))
+	}
+	mu := math.Log(median)
+	sigma := math.Sqrt(2 * math.Log(mean/median))
+	return LogNormal{Mu: mu, Sigma: sigma}
+}
+
+// Draw samples one value.
+func (l LogNormal) Draw(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// Mean reports the distribution mean.
+func (l LogNormal) Mean() float64 {
+	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
+}
+
+// BoundedPareto draws values in [Lo, Hi] with tail index Shape, the
+// classic model for proxy-object sizes.
+type BoundedPareto struct {
+	Lo, Hi float64
+	Shape  float64
+}
+
+// Draw samples one value by inverse CDF.
+func (p BoundedPareto) Draw(rng *rand.Rand) float64 {
+	if p.Lo <= 0 || p.Hi <= p.Lo || p.Shape <= 0 {
+		panic(fmt.Sprintf("dist: bad bounded pareto %+v", p))
+	}
+	u := rng.Float64()
+	la := math.Pow(p.Lo, p.Shape)
+	ha := math.Pow(p.Hi, p.Shape)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.Shape)
+	if x < p.Lo {
+		x = p.Lo
+	}
+	if x > p.Hi {
+		x = p.Hi
+	}
+	return x
+}
+
+// Bernoulli reports true with probability p.
+func Bernoulli(rng *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return rng.Float64() < p
+}

@@ -1,0 +1,212 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfProbabilitiesSumToOne(t *testing.T) {
+	for _, alpha := range []float64{0, 0.4, 0.43, 1.0, 1.2} {
+		z := NewZipf(1000, alpha)
+		sum := 0.0
+		for i := 0; i < z.N(); i++ {
+			sum += z.P(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("alpha=%v: probabilities sum to %v", alpha, sum)
+		}
+	}
+}
+
+func TestZipfMonotoneDecreasing(t *testing.T) {
+	z := NewZipf(500, 0.7)
+	for i := 1; i < z.N(); i++ {
+		if z.P(i) > z.P(i-1)+1e-12 {
+			t.Fatalf("P(%d)=%v > P(%d)=%v", i, z.P(i), i-1, z.P(i-1))
+		}
+	}
+}
+
+func TestZipfAlphaZeroIsUniform(t *testing.T) {
+	z := NewZipf(100, 0)
+	want := 0.01
+	for i := 0; i < 100; i++ {
+		if math.Abs(z.P(i)-want) > 1e-9 {
+			t.Fatalf("P(%d) = %v, want %v", i, z.P(i), want)
+		}
+	}
+}
+
+func TestZipfSkewConcentratesMass(t *testing.T) {
+	low := NewZipf(10000, 0.2).CumP(100)
+	high := NewZipf(10000, 1.0).CumP(100)
+	if high <= low {
+		t.Fatalf("CumP(100): alpha=1.0 gives %v, alpha=0.2 gives %v", high, low)
+	}
+}
+
+func TestZipfRankEmpiricalMatchesAnalytic(t *testing.T) {
+	z := NewZipf(50, 0.8)
+	rng := NewRand(1)
+	counts := make([]int, 50)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Rank(rng)]++
+	}
+	for _, rank := range []int{0, 1, 5, 20} {
+		got := float64(counts[rank]) / n
+		want := z.P(rank)
+		if math.Abs(got-want) > 0.01+0.1*want {
+			t.Errorf("empirical P(%d) = %v, analytic %v", rank, got, want)
+		}
+	}
+}
+
+func TestZipfDeterministicForSeed(t *testing.T) {
+	z := NewZipf(1000, 0.4)
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if z.Rank(a) != z.Rank(b) {
+			t.Fatal("same seed produced different ranks")
+		}
+	}
+}
+
+func TestZipfCumPBounds(t *testing.T) {
+	z := NewZipf(10, 0.5)
+	if z.CumP(0) != 0 || z.CumP(-3) != 0 {
+		t.Fatal("CumP of nothing != 0")
+	}
+	if z.CumP(10) != 1 || z.CumP(99) != 1 {
+		t.Fatal("CumP of everything != 1")
+	}
+}
+
+func TestZipfHitRateModel(t *testing.T) {
+	// More cached blocks -> higher hit rate; more skew -> higher hit rate.
+	if ZipfHitRate(0.43, 10000, 300000) <= ZipfHitRate(0.43, 1000, 300000) {
+		t.Fatal("hit rate not increasing in cache size")
+	}
+	if ZipfHitRate(1.0, 5000, 300000) <= ZipfHitRate(0.2, 5000, 300000) {
+		t.Fatal("hit rate not increasing in alpha")
+	}
+	if got := ZipfHitRate(0.5, 0, 1000); got != 0 {
+		t.Fatalf("zero cache hit rate = %v", got)
+	}
+}
+
+func TestZipfPanicsOnBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(0, 0.5) },
+		func() { NewZipf(10, -0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: Rank always falls in [0, N).
+func TestPropertyZipfRankInRange(t *testing.T) {
+	z := NewZipf(321, 0.6)
+	rng := NewRand(3)
+	f := func(uint8) bool {
+		r := z.Rank(rng)
+		return r >= 0 && r < 321
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogNormalMeanMedian(t *testing.T) {
+	l := LogNormalFromMeanMedian(21.5, 8.0)
+	if math.Abs(l.Mean()-21.5) > 1e-9 {
+		t.Fatalf("Mean() = %v, want 21.5", l.Mean())
+	}
+	rng := NewRand(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := l.Draw(rng)
+		if v <= 0 {
+			t.Fatal("lognormal drew non-positive value")
+		}
+		sum += v
+	}
+	emp := sum / n
+	if math.Abs(emp-21.5) > 1.5 {
+		t.Fatalf("empirical mean %v, want ~21.5", emp)
+	}
+}
+
+func TestLogNormalBadParamsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	LogNormalFromMeanMedian(5, 8) // mean < median
+}
+
+func TestBoundedParetoInRange(t *testing.T) {
+	p := BoundedPareto{Lo: 1, Hi: 1000, Shape: 1.1}
+	rng := NewRand(5)
+	for i := 0; i < 10000; i++ {
+		v := p.Draw(rng)
+		if v < p.Lo || v > p.Hi {
+			t.Fatalf("draw %v outside [%v,%v]", v, p.Lo, p.Hi)
+		}
+	}
+}
+
+func TestBoundedParetoSkewsSmall(t *testing.T) {
+	p := BoundedPareto{Lo: 1, Hi: 10000, Shape: 1.2}
+	rng := NewRand(6)
+	small := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.Draw(rng) < 10 {
+			small++
+		}
+	}
+	if float64(small)/n < 0.5 {
+		t.Fatalf("only %d/%d draws below 10; pareto should skew small", small, n)
+	}
+}
+
+func TestBoundedParetoBadParamsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	BoundedPareto{Lo: 0, Hi: 10, Shape: 1}.Draw(NewRand(1))
+}
+
+func TestBernoulli(t *testing.T) {
+	rng := NewRand(9)
+	if Bernoulli(rng, 0) {
+		t.Fatal("p=0 returned true")
+	}
+	if !Bernoulli(rng, 1) {
+		t.Fatal("p=1 returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if Bernoulli(rng, 0.87) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.87) > 0.01 {
+		t.Fatalf("empirical p = %v, want 0.87", got)
+	}
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+
+	"diskthru"
+)
+
+// AblationFOREviction compares the paper's MRU block-pool eviction with
+// plain LRU across popularity skews.
+func AblationFOREviction(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ablation-for-eviction",
+		Title:   "FOR eviction policy: MRU (paper) vs LRU, normalized to Segm",
+		XLabel:  "alpha",
+		Columns: []string{"FOR/MRU", "FOR/LRU"},
+	}
+	row := func(label string, w *diskthru.Workload, cfg diskthru.Config) error {
+		segm, err := diskthru.Run(w, cfg)
+		if err != nil {
+			return err
+		}
+		mru, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR))
+		if err != nil {
+			return err
+		}
+		lruCfg := cfg.WithSystem(diskthru.FOR)
+		lruCfg.FOREvictLRU = true
+		lru, err := diskthru.Run(w, lruCfg)
+		if err != nil {
+			return err
+		}
+		t.AddRow(label, mru.IOTime/segm.IOTime, lru.IOTime/segm.IOTime)
+		return nil
+	}
+	for _, alpha := range []float64{0.001, 0.4, 0.8, 1.0} {
+		w, err := synWorkload(o, 16, alpha, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := row(trimAlpha(alpha), w, baseConfig()); err != nil {
+			return nil, err
+		}
+	}
+	// Shared sequential streaming is where the policies diverge: MRU's
+	// stream protection starves trailing readers of a shared file, while
+	// LRU preserves the paper's "at least as good as Segm" guarantee.
+	media, err := diskthru.MediaWorkload(o.WebScale)
+	if err != nil {
+		return nil, err
+	}
+	if err := row("media", media, diskthru.DefaultConfig()); err != nil {
+		return nil, err
+	}
+	t.Note("the media row uses the streaming workload; MRU regresses there because trailing readers of a shared file never hit")
+	return t, nil
+}
+
+// AblationScheduler compares controller queue disciplines on the Web
+// workload under the conventional system.
+func AblationScheduler(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := diskthru.WebWorkload(o.WebScale)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ablation-scheduler",
+		Title:   "Queue discipline on the Web workload: I/O time (s)",
+		XLabel:  "system",
+		Columns: []string{"LOOK", "FCFS", "SSTF", "C-LOOK"},
+	}
+	for _, sys := range []diskthru.System{diskthru.Segm, diskthru.FOR} {
+		values := make([]float64, 0, 4)
+		for _, sch := range []diskthru.Scheduler{diskthru.LOOK, diskthru.FCFS, diskthru.SSTF, diskthru.CLOOK} {
+			cfg := diskthru.DefaultConfig()
+			cfg.StripeKB = 16
+			cfg.System = sys
+			cfg.Scheduler = sch
+			r, err := diskthru.Run(w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			values = append(values, r.IOTime)
+		}
+		t.AddRow(sys.String(), values...)
+	}
+	return t, nil
+}
+
+// AblationCoalescing sweeps the request-coalescing probability on the
+// 16-KB synthetic workload — the knob behind the paper's No-RA
+// discussion ("No-RA does not outperform FOR even with perfect
+// coalescing").
+func AblationCoalescing(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := synWorkload(o, 16, 0.4, 0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ablation-coalescing",
+		Title:   "Coalescing probability on 16-KB synthetic: I/O time (s)",
+		XLabel:  "coalesce",
+		Columns: []string{"Segm", "No-RA", "FOR"},
+	}
+	for _, p := range []float64{0, 0.5, 0.87, 1.0} {
+		cfg := baseConfig()
+		cfg.CoalesceProb = p
+		res, err := diskthru.Compare(w, cfg,
+			[]diskthru.System{diskthru.Segm, diskthru.NoRA, diskthru.FOR})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.2f", p),
+			res[0].IOTime, res[1].IOTime, res[2].IOTime)
+	}
+	t.Note("paper section 6.2: even at coalescing=1.0, No-RA must not beat FOR")
+	return t, nil
+}
+
+// AblationHDCPlanner compares the perfect-knowledge planner the paper
+// evaluates with the deployable previous-period (first-half history)
+// planner it proposes.
+func AblationHDCPlanner(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := diskthru.WebWorkload(o.WebScale)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ablation-hdc-planner",
+		Title:   "HDC planner on the Web workload (stripe=16KB, HDC=2MB)",
+		XLabel:  "planner",
+		Columns: []string{"I/O time (s)", "HDC hit%"},
+	}
+	for _, planner := range []diskthru.HDCPlanner{diskthru.PlannerPerfect, diskthru.PlannerHistory} {
+		cfg := diskthru.DefaultConfig()
+		cfg.StripeKB = 16
+		cfg.HDCKB = scaleHDCKB(2048, o.WebScale)
+		cfg.Planner = planner
+		r, err := diskthru.Run(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(planner.String(), r.IOTime, r.HDCHitRate*100)
+	}
+	return t, nil
+}
+
+// AblationSegmentGeometry compares the Table 1 segment-size/count pairs
+// (128 KB x 27, 256 KB x 13, 512 KB x 6) on the 16-KB synthetic
+// workload.
+func AblationSegmentGeometry(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := synWorkload(o, 16, 0.4, 0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ablation-segment-geometry",
+		Title:   "Segment geometry on 16-KB synthetic: I/O time (s)",
+		XLabel:  "geometry",
+		Columns: []string{"Segm", "FOR"},
+	}
+	for _, g := range []struct {
+		kb, n int
+	}{{128, 27}, {256, 13}, {512, 6}} {
+		cfg := baseConfig()
+		cfg.SegmentKB = g.kb
+		cfg.MaxSegments = g.n
+		res, err := diskthru.Compare(w, cfg,
+			[]diskthru.System{diskthru.Segm, diskthru.FOR})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%dKBx%d", g.kb, g.n), res[0].IOTime, res[1].IOTime)
+	}
+	t.Note("larger blind read-ahead units waste more transfer on small files; FOR is insensitive to the segment geometry")
+	return t, nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import "fmt"
+
+// Options sizes the experiments. The paper's full scales are expensive
+// (millions of trace records); Defaults runs reduced-but-faithful scales
+// and Quick runs the minimum that still shows every trend (used by the
+// benchmarks and tests). EXPERIMENTS.md records the scale used for each
+// published number.
+type Options struct {
+	// SynRequests is the synthetic trace length (paper: 10 000).
+	SynRequests int
+	// WebScale, ProxyScale and FileScale scale the three server
+	// workloads relative to the paper's trace sizes.
+	WebScale   float64
+	ProxyScale float64
+	FileScale  float64
+	// Seed offsets every generator seed, for replication studies.
+	Seed int64
+}
+
+// Defaults are the scales the committed EXPERIMENTS.md numbers use.
+// They are the smallest scales at which the buffer cache's churn-band
+// reuse distances clear the controller-cache horizon (see DESIGN.md), so
+// controller hit rates behave as at paper scale.
+func Defaults() Options {
+	return Options{
+		SynRequests: 10000,
+		WebScale:    0.25,
+		ProxyScale:  0.15,
+		FileScale:   0.02,
+	}
+}
+
+// Quick shrinks everything for fast benchmarking; trends survive but FOR
+// gains overshoot (short reuse distances let the controller cache capture
+// reuse it could not at paper scale).
+func Quick() Options {
+	return Options{
+		SynRequests: 2500,
+		WebScale:    0.05,
+		ProxyScale:  0.05,
+		FileScale:   0.005,
+	}
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if o.SynRequests <= 0 {
+		return fmt.Errorf("experiments: %d synthetic requests", o.SynRequests)
+	}
+	if o.WebScale <= 0 || o.ProxyScale <= 0 || o.FileScale <= 0 {
+		return fmt.Errorf("experiments: non-positive workload scale in %+v", o)
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"diskthru"
+	"diskthru/internal/dist"
+	"diskthru/internal/fslayout"
+)
+
+// baseConfig is the Table 1 setup shared by the synthetic experiments.
+func baseConfig() diskthru.Config {
+	cfg := diskthru.DefaultConfig()
+	cfg.Streams = 128
+	return cfg
+}
+
+// Fig1 reproduces Figure 1: average sequential read length as a function
+// of the fragmentation degree, for 2/4/8/16/32-block files. Measured
+// from real allocations; the closed form n/(1+(n-1)p) is the reference.
+func Fig1(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	sizes := []int{32, 16, 8, 4, 2}
+	t := &Table{
+		ID:      "fig1",
+		Title:   "Average sequential read vs fragmentation degree",
+		XLabel:  "frag%",
+		Columns: []string{"32 blks", "16 blks", "8 blks", "4 blks", "2 blks"},
+	}
+	const filesPerPoint = 3000
+	for frag := 0.0; frag <= 0.20+1e-9; frag += 0.025 {
+		values := make([]float64, len(sizes))
+		for i, size := range sizes {
+			l := fslayout.New(int64(filesPerPoint*size)*6 + 64)
+			rng := dist.NewRand(1000 + o.Seed + int64(size))
+			for f := 0; f < filesPerPoint; f++ {
+				if _, err := l.Alloc(size, frag, rng); err != nil {
+					return nil, err
+				}
+			}
+			values[i] = l.AvgSequentialRun()
+		}
+		t.AddRow(fmt.Sprintf("%.1f", frag*100), values...)
+	}
+	t.Note("closed form: n/(1+(n-1)p); 32 blks @ 5%% -> %.1f (paper: ~12)",
+		fslayout.ExpectedRun(32, 0.05))
+	return t, nil
+}
+
+// synWorkload builds one synthetic workload for the sweeps.
+func synWorkload(o Options, fileKB int, alpha, writes float64) (*diskthru.Workload, error) {
+	return diskthru.SyntheticWorkload(diskthru.SyntheticOptions{
+		Requests:      o.SynRequests,
+		FileKB:        fileKB,
+		ZipfAlpha:     alpha,
+		WriteFraction: writes,
+		Seed:          1 + o.Seed,
+	})
+}
+
+// Fig3 reproduces Figure 3: normalized I/O time vs average file size for
+// Segm, Block, No-RA and FOR at 128 simultaneous streams.
+func Fig3(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig3",
+		Title:   "Normalized I/O time vs average file size (streams=128)",
+		XLabel:  "fileKB",
+		Columns: []string{"Segm", "Block", "No-RA", "FOR", "Segm secs"},
+	}
+	cfg := baseConfig()
+	for _, kb := range []int{4, 8, 16, 32, 48, 64, 96, 128} {
+		w, err := synWorkload(o, kb, 0.4, 0)
+		if err != nil {
+			return nil, err
+		}
+		res, err := diskthru.Compare(w, cfg,
+			[]diskthru.System{diskthru.Segm, diskthru.Block, diskthru.NoRA, diskthru.FOR})
+		if err != nil {
+			return nil, err
+		}
+		base := res[0].IOTime
+		t.AddRow(fmt.Sprintf("%d", kb),
+			1.0, res[1].IOTime/base, res[2].IOTime/base, res[3].IOTime/base, base)
+	}
+	t.Note("paper: FOR cuts I/O time ~40%% at 16 KB; No-RA beats blind read-ahead below ~48 KB and loses badly above")
+	return t, nil
+}
+
+// Fig4 reproduces Figure 4: normalized I/O time vs number of
+// simultaneous streams for 16-KB files.
+func Fig4(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig4",
+		Title:   "Normalized I/O time vs simultaneous streams (16-KB files)",
+		XLabel:  "streams",
+		Columns: []string{"Segm", "Block", "FOR", "Segm secs"},
+	}
+	w, err := synWorkload(o, 16, 0.4, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, streams := range []int{64, 128, 256, 512, 768, 1024} {
+		cfg := baseConfig()
+		cfg.Streams = streams
+		res, err := diskthru.Compare(w, cfg,
+			[]diskthru.System{diskthru.Segm, diskthru.Block, diskthru.FOR})
+		if err != nil {
+			return nil, err
+		}
+		base := res[0].IOTime
+		t.AddRow(fmt.Sprintf("%d", streams),
+			1.0, res[1].IOTime/base, res[2].IOTime/base, base)
+	}
+	t.Note("paper: FOR gains 39%% at 64 streams rising to 59%% at 1024; Block matches Segm below ~256 streams")
+	return t, nil
+}
+
+// Fig5 reproduces Figure 5: normalized I/O time and HDC hit rate vs the
+// Zipf coefficient, with 2-MB HDC regions and no writes.
+func Fig5(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Normalized I/O time vs access-frequency skew (HDC=2MB, writes=0)",
+		XLabel:  "alpha",
+		Columns: []string{"Segm", "Segm+HDC", "FOR", "FOR+HDC", "HDC hit%"},
+	}
+	for _, alpha := range []float64{0.001, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		w, err := synWorkload(o, 16, alpha, 0)
+		if err != nil {
+			return nil, err
+		}
+		cfg := baseConfig()
+		segm, err := diskthru.Run(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		segmHDC, err := diskthru.Run(w, cfg.WithHDC(2048))
+		if err != nil {
+			return nil, err
+		}
+		forr, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR))
+		if err != nil {
+			return nil, err
+		}
+		forHDC, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR).WithHDC(2048))
+		if err != nil {
+			return nil, err
+		}
+		base := segm.IOTime
+		t.AddRow(trimAlpha(alpha),
+			1.0, segmHDC.IOTime/base, forr.IOTime/base, forHDC.IOTime/base,
+			segmHDC.HDCHitRate*100)
+	}
+	t.Note("paper: HDC gains ~10%% for alpha<=0.6 rising to 28%% (Segm) / 31%% (FOR) at alpha=1; hit rate reaches 56%%")
+	return t, nil
+}
+
+func trimAlpha(a float64) string {
+	if a < 0.01 {
+		return "0"
+	}
+	return fmt.Sprintf("%.1f", a)
+}
+
+// Fig6 reproduces Figure 6: normalized I/O time vs the percentage of
+// writes (HDC=2MB, alpha=0.4).
+func Fig6(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Normalized I/O time vs write fraction (HDC=2MB, alpha=0.4)",
+		XLabel:  "writes",
+		Columns: []string{"Segm", "Segm+HDC", "FOR", "FOR+HDC"},
+	}
+	for _, wf := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6} {
+		w, err := synWorkload(o, 16, 0.4, wf)
+		if err != nil {
+			return nil, err
+		}
+		cfg := baseConfig()
+		segm, err := diskthru.Run(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		segmHDC, err := diskthru.Run(w, cfg.WithHDC(2048))
+		if err != nil {
+			return nil, err
+		}
+		forr, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR))
+		if err != nil {
+			return nil, err
+		}
+		forHDC, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR).WithHDC(2048))
+		if err != nil {
+			return nil, err
+		}
+		base := segm.IOTime
+		t.AddRow(fmt.Sprintf("%.1f", wf),
+			1.0, segmHDC.IOTime/base, forr.IOTime/base, forHDC.IOTime/base)
+	}
+	t.Note("paper: FOR improvement drops from 39%% to 19%% as writes grow 0->60%%; FOR+HDC from 46%% to 28%%")
+	return t, nil
+}
+
+// Table1 prints the simulated configuration against the paper's Table 1.
+func Table1(o Options) (*Table, error) {
+	cfg := diskthru.DefaultConfig()
+	t := &Table{
+		ID:      "table1",
+		Title:   "Main parameters and their default values",
+		XLabel:  "parameter",
+		Columns: []string{"value"},
+	}
+	t.AddRow("disks", float64(cfg.Disks))
+	t.AddRow("disk size (GB)", 18)
+	t.AddRow("avg seek (ms)", 3.4)
+	t.AddRow("avg rot latency (ms)", 2.0)
+	t.AddRow("controller cache (KB)", float64(cfg.CacheKB))
+	t.AddRow("block size (B)", 4096)
+	t.AddRow("segment (KB)", float64(cfg.SegmentKB))
+	t.AddRow("max segments", float64(cfg.MaxSegments))
+	t.AddRow("bitmap (KB)", math.Round(float64(fslayout.NewBitmap(4718560).SizeBytes())/1024))
+	t.AddRow("coalesce prob (%)", cfg.CoalesceProb*100)
+	t.Note("paper Table 1: 8 disks, 18 GB, 3.4 ms seek, 2.0 ms latency, 54 MB/s, Ultra160, 4 MB cache, 4 KB blocks, 128/256/512 KB segments, 27/13/6 segments, 546 KB bitmap")
+	return t, nil
+}

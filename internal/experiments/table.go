@@ -1,0 +1,155 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (section 6), plus the ablation studies DESIGN.md calls out.
+// Each driver returns a Table whose rows/series correspond to what the
+// paper plots; cmd/diskthru prints them and bench_test.go wraps each one
+// in a benchmark.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Row is one X position of a figure.
+type Row struct {
+	// Label is the X value as printed (file size, stripe size, alpha...).
+	Label string
+	// Values align with Table.Columns; NaN prints as "-" (a series that
+	// does not extend to this X, like FOR+HDC at the largest HDC sizes).
+	Values []float64
+}
+
+// Table is one reproduced figure or table.
+type Table struct {
+	ID      string // "fig3", "table2", "ablation-scheduler", ...
+	Title   string
+	XLabel  string
+	Columns []string
+	Rows    []Row
+	// Notes records scale substitutions and paper-vs-measured remarks.
+	Notes []string
+}
+
+// AddRow appends a row, validating the value count.
+func (t *Table) AddRow(label string, values ...float64) {
+	if len(values) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: row %q has %d values for %d columns",
+			label, len(values), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// Note appends a free-form note.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len(t.XLabel)
+	for _, r := range t.Rows {
+		if len(r.Label) > widths[0] {
+			widths[0] = len(r.Label)
+		}
+	}
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		cells[i] = make([]string, len(r.Values))
+		for j, v := range r.Values {
+			cells[i][j] = formatValue(v)
+		}
+	}
+	for j, c := range t.Columns {
+		widths[j+1] = len(c)
+		for i := range cells {
+			if len(cells[i][j]) > widths[j+1] {
+				widths[j+1] = len(cells[i][j])
+			}
+		}
+	}
+	pad := func(s string, w int) string {
+		return strings.Repeat(" ", w-len(s)) + s
+	}
+	fmt.Fprintf(w, "%s", pad(t.XLabel, widths[0]))
+	for j, c := range t.Columns {
+		fmt.Fprintf(w, "  %s", pad(c, widths[j+1]))
+	}
+	fmt.Fprintln(w)
+	for i, r := range t.Rows {
+		fmt.Fprintf(w, "%s", pad(r.Label, widths[0]))
+		for j := range r.Values {
+			fmt.Fprintf(w, "  %s", pad(cells[i][j], widths[j+1]))
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e7:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// CSV renders the table as comma-separated values (header row first);
+// NaN cells are left empty. Notes are omitted.
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{t.XLabel}, t.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		row := make([]string, 0, len(r.Values)+1)
+		row = append(row, r.Label)
+		for _, v := range r.Values {
+			if math.IsNaN(v) {
+				row = append(row, "")
+			} else {
+				row = append(row, strconv.FormatFloat(v, 'g', 6, 64))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders via Format.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Format(&sb)
+	return sb.String()
+}
+
+// Column returns the values of the named column in row order; it panics
+// on unknown names (experiment code bug, not user input).
+func (t *Table) Column(name string) []float64 {
+	for j, c := range t.Columns {
+		if c == name {
+			out := make([]float64, len(t.Rows))
+			for i, r := range t.Rows {
+				out[i] = r.Values[j]
+			}
+			return out
+		}
+	}
+	panic(fmt.Sprintf("experiments: table %s has no column %q", t.ID, name))
+}

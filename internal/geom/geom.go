@@ -1,0 +1,289 @@
+// Package geom models the mechanical side of a disk drive: geometry
+// (cylinders, heads, sectors), logical-block-address mapping, the paper's
+// three-piece seek-time curve, exact rotational positioning, and media
+// transfer with head/cylinder-switch accounting.
+//
+// The default parameters reproduce the 18 GB IBM Ultrastar 36Z15 used in
+// the paper: 15 000 rpm, ~440 sectors per track, 3.4 ms average seek,
+// 2.0 ms average rotational latency, ~54 MB/s raw media rate, with the
+// seek regression constants the authors report (alpha=0.9336,
+// beta=0.0364, gamma=1.5503, delta=0.00054, theta=1150).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// SeekCurve holds the parameters of the piecewise seek-time model from
+// section 2.1 of the paper:
+//
+//	seek(0) = 0
+//	seek(n) = Alpha + Beta*sqrt(n)   for 0 < n <= Theta
+//	seek(n) = Gamma + Delta*n        for n > Theta
+//
+// All times are in milliseconds; n is the number of cylinders traveled.
+type SeekCurve struct {
+	Alpha, Beta  float64
+	Gamma, Delta float64
+	Theta        int
+}
+
+// Ultrastar36Z15Seek is the regression fit for the paper's IBM drive.
+var Ultrastar36Z15Seek = SeekCurve{
+	Alpha: 0.9336, Beta: 0.0364,
+	Gamma: 1.5503, Delta: 0.00054,
+	Theta: 1150,
+}
+
+// Time returns the seek time in seconds for traveling n cylinders.
+func (c SeekCurve) Time(n int) float64 {
+	if n < 0 {
+		n = -n
+	}
+	switch {
+	case n == 0:
+		return 0
+	case n <= c.Theta:
+		return (c.Alpha + c.Beta*math.Sqrt(float64(n))) / 1000.0
+	default:
+		return (c.Gamma + c.Delta*float64(n)) / 1000.0
+	}
+}
+
+// Geometry describes one disk drive mechanically.
+type Geometry struct {
+	SectorSize      int // bytes per sector
+	BlockSize       int // bytes per logical block (file-system block)
+	SectorsPerTrack int
+	Heads           int // tracks per cylinder
+	Cylinders       int
+	RPM             float64
+	Seek            SeekCurve
+
+	// TrackSwitch and CylinderSwitch are the head-switch and one-cylinder
+	// seek penalties charged when a sequential transfer crosses a track or
+	// cylinder boundary. Real drives hide most of the rotational cost of
+	// these with track skew, so they appear as small fixed delays.
+	TrackSwitch    float64 // seconds
+	CylinderSwitch float64 // seconds
+
+	// Zones, when non-empty, enables zoned bit recording: each zone's
+	// SectorsPerTrack overrides the uniform value for its cylinders.
+	// Zones must cover exactly Cylinders cylinders.
+	Zones []Zone
+}
+
+// Ultrastar36Z15 returns the paper's default drive geometry. The derived
+// capacity is 10 724 cylinders x 8 heads x 440 sectors x 512 B = 18 GB,
+// i.e. 4 718 560 four-KB blocks.
+func Ultrastar36Z15() Geometry {
+	return Geometry{
+		SectorSize:      512,
+		BlockSize:       4096,
+		SectorsPerTrack: 440,
+		Heads:           8,
+		Cylinders:       10724,
+		RPM:             15000,
+		Seek:            Ultrastar36Z15Seek,
+		TrackSwitch:     0.0006,
+		CylinderSwitch:  0.0009,
+	}
+}
+
+// Validate reports an error for physically meaningless geometries.
+func (g Geometry) Validate() error {
+	switch {
+	case g.SectorSize <= 0:
+		return fmt.Errorf("geom: sector size %d", g.SectorSize)
+	case g.BlockSize <= 0 || g.BlockSize%g.SectorSize != 0:
+		return fmt.Errorf("geom: block size %d not a multiple of sector size %d", g.BlockSize, g.SectorSize)
+	case g.SectorsPerTrack <= 0:
+		return fmt.Errorf("geom: %d sectors per track", g.SectorsPerTrack)
+	case g.Heads <= 0:
+		return fmt.Errorf("geom: %d heads", g.Heads)
+	case g.Cylinders <= 0:
+		return fmt.Errorf("geom: %d cylinders", g.Cylinders)
+	case g.RPM <= 0:
+		return fmt.Errorf("geom: rpm %v", g.RPM)
+	}
+	return g.validateZones()
+}
+
+// SectorsPerBlock reports how many physical sectors one logical block spans.
+func (g Geometry) SectorsPerBlock() int { return g.BlockSize / g.SectorSize }
+
+// TotalSectors reports the drive's sector count.
+func (g Geometry) TotalSectors() int64 {
+	if len(g.Zones) > 0 {
+		return g.zonedTotalSectors()
+	}
+	return int64(g.Cylinders) * int64(g.Heads) * int64(g.SectorsPerTrack)
+}
+
+// Blocks reports how many whole logical blocks fit on the drive.
+func (g Geometry) Blocks() int64 {
+	return g.TotalSectors() / int64(g.SectorsPerBlock())
+}
+
+// CapacityBytes reports the usable capacity in bytes (whole blocks only).
+func (g Geometry) CapacityBytes() int64 { return g.Blocks() * int64(g.BlockSize) }
+
+// RevTime reports the duration of one platter revolution in seconds.
+func (g Geometry) RevTime() float64 { return 60.0 / g.RPM }
+
+// MediaRate reports the raw sequential transfer rate in bytes/second, as
+// set by rotation speed and track density.
+func (g Geometry) MediaRate() float64 {
+	return float64(g.SectorsPerTrack*g.SectorSize) / g.RevTime()
+}
+
+// AvgRotationalLatency reports the expected rotational delay (half a
+// revolution) in seconds.
+func (g Geometry) AvgRotationalLatency() float64 { return g.RevTime() / 2 }
+
+// AvgSeek reports the model's average random seek time in seconds,
+// computed by integrating the seek curve over the analytic distribution
+// of distances between two uniform random cylinders.
+func (g Geometry) AvgSeek() float64 {
+	c := float64(g.Cylinders)
+	var sum float64
+	// P(distance = n) = 2(c-n)/c^2 for n in [1, c-1].
+	for n := 1; n < g.Cylinders; n++ {
+		p := 2 * (c - float64(n)) / (c * c)
+		sum += p * g.Seek.Time(n)
+	}
+	return sum
+}
+
+// Pos is a physical position of a logical block on the drive.
+type Pos struct {
+	Cylinder int
+	Head     int
+	// Sector is the index of the block's first sector within its track.
+	Sector int
+}
+
+// BlockPos maps a logical block address (per-disk, zero-based) to its
+// physical position. Panics on out-of-range addresses: callers construct
+// addresses from the same geometry, so a violation is a programming error.
+func (g Geometry) BlockPos(lba int64) Pos {
+	if lba < 0 || lba >= g.Blocks() {
+		panic(fmt.Sprintf("geom: block %d out of range [0,%d)", lba, g.Blocks()))
+	}
+	sector := lba * int64(g.SectorsPerBlock())
+	if len(g.Zones) > 0 {
+		p, _ := g.zonedPosOf(sector)
+		return p
+	}
+	track := sector / int64(g.SectorsPerTrack)
+	return Pos{
+		Cylinder: int(track / int64(g.Heads)),
+		Head:     int(track % int64(g.Heads)),
+		Sector:   int(sector % int64(g.SectorsPerTrack)),
+	}
+}
+
+// BlockAt is the inverse of BlockPos for positions that are block-aligned.
+func (g Geometry) BlockAt(p Pos) int64 {
+	if len(g.Zones) > 0 {
+		return g.zonedSectorOf(p) / int64(g.SectorsPerBlock())
+	}
+	sector := (int64(p.Cylinder)*int64(g.Heads)+int64(p.Head))*int64(g.SectorsPerTrack) + int64(p.Sector)
+	return sector / int64(g.SectorsPerBlock())
+}
+
+// angleOf reports the angular position (fraction of a revolution, in
+// [0,1)) of the platter at absolute time t.
+func (g Geometry) angleOf(t float64) float64 {
+	rev := g.RevTime()
+	frac := math.Mod(t/rev, 1.0)
+	if frac < 0 {
+		frac += 1.0
+	}
+	return frac
+}
+
+// sectorAngle reports the angular position at which sector s of a track
+// passes under the head.
+func (g Geometry) sectorAngle(s int) float64 {
+	return float64(s) / float64(g.SectorsPerTrack)
+}
+
+// Access describes the outcome of one media operation.
+type Access struct {
+	SeekTime     float64 // seconds spent seeking
+	RotWait      float64 // seconds waiting for rotation
+	TransferTime float64 // seconds moving data under the head
+	EndCylinder  int     // head position afterwards
+}
+
+// Total reports the full service time of the access in seconds.
+func (a Access) Total() float64 { return a.SeekTime + a.RotWait + a.TransferTime }
+
+// MediaOp computes the detailed cost of reading or writing count
+// consecutive logical blocks starting at lba, beginning at absolute time
+// start with the head parked on fromCyl. It reproduces the paper's
+// T(r) = seek + rot_latency + r*S/xfer_rate, but with the rotational term
+// derived from the true angular position at seek completion and
+// track/cylinder switches charged explicitly.
+func (g Geometry) MediaOp(fromCyl int, lba int64, count int, start float64) Access {
+	if count <= 0 {
+		panic(fmt.Sprintf("geom: media op of %d blocks", count))
+	}
+	startSector := lba * int64(g.SectorsPerBlock())
+	sectors := count * g.SectorsPerBlock()
+
+	var p Pos
+	trackSPT := g.SectorsPerTrack
+	if len(g.Zones) > 0 {
+		p, trackSPT = g.zonedPosOf(startSector)
+	} else {
+		p = g.BlockPos(lba)
+	}
+	acc := Access{EndCylinder: p.Cylinder}
+	acc.SeekTime = g.Seek.Time(p.Cylinder - fromCyl)
+
+	// Rotational wait: the platter angle when the seek settles versus the
+	// angle of the first target sector on its (zone-dependent) track.
+	atHead := g.angleOf(start + acc.SeekTime)
+	target := float64(p.Sector) / float64(trackSPT)
+	wait := target - atHead
+	if wait < 0 {
+		wait += 1.0
+	}
+	acc.RotWait = wait * g.RevTime()
+
+	// Transfer: sectors stream at the zone's media rate; boundary
+	// crossings add switch penalties (skew hides the rest).
+	if len(g.Zones) > 0 {
+		xfer, endCyl := g.zonedTransfer(startSector, sectors)
+		acc.TransferTime = xfer
+		acc.EndCylinder = endCyl
+		return acc
+	}
+	perSector := g.RevTime() / float64(g.SectorsPerTrack)
+	acc.TransferTime = float64(sectors) * perSector
+
+	endSector := startSector + int64(sectors) - 1
+	firstTrack := startSector / int64(g.SectorsPerTrack)
+	lastTrack := endSector / int64(g.SectorsPerTrack)
+	for tr := firstTrack; tr < lastTrack; tr++ {
+		if (tr+1)%int64(g.Heads) == 0 {
+			acc.TransferTime += g.CylinderSwitch
+		} else {
+			acc.TransferTime += g.TrackSwitch
+		}
+	}
+	acc.EndCylinder = int(lastTrack / int64(g.Heads))
+	return acc
+}
+
+// NominalServiceTime is the closed-form approximation used throughout the
+// paper's analysis: average seek + average rotational latency + transfer
+// of count blocks at the raw media rate. It is used by analytic tests and
+// the utilization model, not by the simulator itself.
+func (g Geometry) NominalServiceTime(count int) float64 {
+	return g.AvgSeek() + g.AvgRotationalLatency() +
+		float64(count*g.BlockSize)/g.MediaRate()
+}

@@ -1,0 +1,140 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZonedCapacityMatchesUniform(t *testing.T) {
+	u := Ultrastar36Z15()
+	z := Ultrastar36Z15Zoned()
+	if err := z.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(z.TotalSectors()) / float64(u.TotalSectors())
+	if math.Abs(ratio-1) > 0.01 {
+		t.Fatalf("zoned capacity ratio = %v, want ~1", ratio)
+	}
+}
+
+func TestZonedValidation(t *testing.T) {
+	g := Ultrastar36Z15()
+	g.Zones = []Zone{{Cylinders: 100, SectorsPerTrack: 440}}
+	if err := g.Validate(); err == nil {
+		t.Fatal("zones not covering all cylinders accepted")
+	}
+	g.Zones = []Zone{{Cylinders: g.Cylinders, SectorsPerTrack: 0}}
+	if err := g.Validate(); err == nil {
+		t.Fatal("zero-spt zone accepted")
+	}
+}
+
+func TestZonedBlockPosRoundTrip(t *testing.T) {
+	g := Ultrastar36Z15Zoned()
+	for _, lba := range []int64{0, 1, 1000, 100000, 1000000, g.Blocks() - 1} {
+		p := g.BlockPos(lba)
+		if p.Cylinder < 0 || p.Cylinder >= g.Cylinders || p.Head < 0 || p.Head >= g.Heads {
+			t.Fatalf("BlockPos(%d) = %+v out of range", lba, p)
+		}
+		if p.Sector%g.SectorsPerBlock() == 0 {
+			if back := g.BlockAt(p); back != lba {
+				t.Fatalf("round trip %d -> %+v -> %d", lba, p, back)
+			}
+		}
+	}
+}
+
+func TestPropertyZonedRoundTrip(t *testing.T) {
+	g := Ultrastar36Z15Zoned()
+	n := g.Blocks()
+	f := func(seed uint32) bool {
+		lba := int64(seed) % n
+		p := g.BlockPos(lba)
+		if p.Sector%g.SectorsPerBlock() != 0 {
+			return true
+		}
+		return g.BlockAt(p) == lba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZonedMonotoneCylinders(t *testing.T) {
+	g := Ultrastar36Z15Zoned()
+	prevCyl := -1
+	step := g.Blocks() / 997
+	for lba := int64(0); lba < g.Blocks(); lba += step {
+		c := g.BlockPos(lba).Cylinder
+		if c < prevCyl {
+			t.Fatalf("cylinder not monotone in LBA: %d after %d", c, prevCyl)
+		}
+		prevCyl = c
+	}
+}
+
+func TestZonedOuterTracksFaster(t *testing.T) {
+	g := Ultrastar36Z15Zoned()
+	// Same 32-block transfer at the outer edge vs the inner edge.
+	outerPos := g.BlockPos(0)
+	outer := g.MediaOp(outerPos.Cylinder, 0, 32, 0)
+	innerLBA := g.Blocks() - 64
+	innerPos := g.BlockPos(innerLBA)
+	inner := g.MediaOp(innerPos.Cylinder, innerLBA, 32, 0)
+	if outer.TransferTime >= inner.TransferTime {
+		t.Fatalf("outer transfer %v not faster than inner %v",
+			outer.TransferTime, inner.TransferTime)
+	}
+	// Raw rate ratio is 484/396 = 1.22; track-switch penalties on the
+	// shorter inner tracks push the end-to-end ratio higher.
+	speedup := inner.TransferTime / outer.TransferTime
+	if speedup < 1.15 || speedup > 1.6 {
+		t.Fatalf("outer/inner speedup = %v, want in [1.15, 1.6]", speedup)
+	}
+}
+
+func TestZonedAverageRateNearUniform(t *testing.T) {
+	g := Ultrastar36Z15Zoned()
+	u := Ultrastar36Z15()
+	// Sum transfer time of one full sweep sampled across the disk.
+	var zonedTime, uniformTime float64
+	step := g.Blocks() / 101
+	for lba := int64(0); lba+32 < g.Blocks(); lba += step {
+		zonedTime += g.MediaOp(g.BlockPos(lba).Cylinder, lba, 32, 0).TransferTime
+		uniformTime += u.MediaOp(u.BlockPos(lba%u.Blocks()).Cylinder, lba%u.Blocks(), 32, 0).TransferTime
+	}
+	ratio := zonedTime / uniformTime
+	if ratio < 0.93 || ratio > 1.07 {
+		t.Fatalf("zoned/uniform mean transfer ratio = %v, want ~1", ratio)
+	}
+}
+
+func TestZonedRotWaitBounded(t *testing.T) {
+	g := Ultrastar36Z15Zoned()
+	n := g.Blocks()
+	f := func(seed uint32, tRaw uint16) bool {
+		lba := int64(seed) % (n - 8)
+		acc := g.MediaOp(0, lba, 4, float64(tRaw)/7919.0)
+		return acc.RotWait >= 0 && acc.RotWait < g.RevTime()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZonedTransferCrossesZoneBoundary(t *testing.T) {
+	g := Ultrastar36Z15Zoned()
+	// Find the first zone boundary in sectors and read across it.
+	spans := g.spans()
+	boundarySector := spans[1].startSector
+	lba := boundarySector/int64(g.SectorsPerBlock()) - 4
+	acc := g.MediaOp(0, lba, 8, 0)
+	if acc.TransferTime <= 0 {
+		t.Fatal("no transfer time across zone boundary")
+	}
+	// The op ends in zone 1's first cylinder.
+	if want := spans[1].startCyl; acc.EndCylinder != want {
+		t.Fatalf("EndCylinder = %d, want %d", acc.EndCylinder, want)
+	}
+}

@@ -1,0 +1,510 @@
+// Package host models the server machine driving the disk array: a pool
+// of t simultaneous I/O streams replaying a disk-level trace as fast as
+// possible (the paper's throughput methodology), the OS/driver request
+// pipeline that splits file accesses into per-disk requests with
+// probabilistic coalescing, and the HDC planning logic that decides which
+// blocks each controller pins.
+package host
+
+import (
+	"fmt"
+	"math/rand"
+
+	"diskthru/internal/array"
+	"diskthru/internal/disk"
+	"diskthru/internal/dist"
+	"diskthru/internal/fslayout"
+	"diskthru/internal/sim"
+	"diskthru/internal/trace"
+)
+
+// IssueMode selects how a stream dispatches one record's sub-requests.
+type IssueMode int
+
+const (
+	// IssueAll submits every sub-request of a record at once (the OS
+	// prefetcher has them all in flight). The default.
+	IssueAll IssueMode = iota
+	// IssueSequential submits them one at a time, each waiting for the
+	// previous completion — the synchronous-read()-loop behavior that
+	// exposes blind read-ahead segments to eviction between a stream's
+	// requests (the mechanism behind the paper's Figure 4 growth).
+	IssueSequential
+)
+
+// String names the mode.
+func (m IssueMode) String() string {
+	if m == IssueSequential {
+		return "sequential"
+	}
+	return "all"
+}
+
+// Config tunes the host model.
+type Config struct {
+	// Streams is the number of simultaneous I/O streams (paper: 16 for
+	// the Web server, 128 elsewhere).
+	Streams int
+	// CoalesceProb is the probability that two consecutive-block
+	// sub-requests are issued as one (paper: 0.87, measured from their
+	// real workloads).
+	CoalesceProb float64
+	// Seed drives the coalescing coin flips.
+	Seed int64
+	// Issue selects the per-record dispatch mode.
+	Issue IssueMode
+	// FlushHDCAtEnd issues flush_hdc() on every disk after the trace
+	// drains, charging the dirty writebacks to the measured I/O time.
+	FlushHDCAtEnd bool
+	// SyncHDCEvery issues flush_hdc() on every disk at this virtual-time
+	// period (seconds), modeling the Unix 30-second sync the paper
+	// measured to cost < 1%. Zero disables periodic syncs.
+	SyncHDCEvery float64
+	// Replicas is the RAID-1 mirroring degree: 2 means every logical
+	// drive of the striper is backed by two physical disks; reads go to
+	// one replica (preferring one whose HDC has the blocks pinned, then
+	// the shorter queue), writes go to all. 0 or 1 disables mirroring.
+	Replicas int
+	// FailDisk, when positive, marks physical disk FailDisk-1 as failed:
+	// it receives no requests and its mirror partner absorbs the load
+	// (requires Replicas == 2). Models RAID-1 degraded operation.
+	FailDisk int
+	// ArrivalRate, when positive, switches the replay open-loop: records
+	// arrive as a Poisson process at this rate (records/second) instead
+	// of being driven as fast as the streams allow, and per-record
+	// response times are collected in Latencies.
+	ArrivalRate float64
+}
+
+// replicas normalizes the mirroring degree.
+func (c Config) replicas() int {
+	if c.Replicas < 2 {
+		return 1
+	}
+	return c.Replicas
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Streams <= 0 {
+		return fmt.Errorf("host: %d streams", c.Streams)
+	}
+	if c.CoalesceProb < 0 || c.CoalesceProb > 1 {
+		return fmt.Errorf("host: coalesce probability %v", c.CoalesceProb)
+	}
+	if c.FailDisk > 0 && c.replicas() < 2 {
+		return fmt.Errorf("host: failing a disk requires mirroring")
+	}
+	if c.ArrivalRate < 0 {
+		return fmt.Errorf("host: negative arrival rate")
+	}
+	return nil
+}
+
+// Host replays traces against an array of disks.
+type Host struct {
+	cfg     Config
+	sim     *sim.Simulator
+	disks   []*disk.Disk
+	striper array.Striper
+	layout  *fslayout.Layout
+	rng     *rand.Rand
+
+	records     []trace.Record
+	cursor      int
+	active      int
+	openPending int
+
+	// lastCompletion tracks when the last host-visible operation (record
+	// or end-of-run flush) finished; this is the reported makespan.
+	// Background sync ticks may leave the simulator clock beyond it.
+	lastCompletion sim.Time
+
+	// IssuedRequests counts per-disk requests submitted during replay.
+	IssuedRequests uint64
+	// Latencies holds per-record response times, populated only by
+	// open-loop replays (ArrivalRate > 0).
+	Latencies []float64
+}
+
+// New binds a host to its array. The striper must match the one the
+// disks' FOR bitmaps were built with.
+func New(s *sim.Simulator, disks []*disk.Disk, striper array.Striper, layout *fslayout.Layout, cfg Config) (*Host, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if want := striper.Disks * cfg.replicas(); len(disks) != want {
+		return nil, fmt.Errorf("host: %d disks but striper x%d replicas expects %d",
+			len(disks), cfg.replicas(), want)
+	}
+	return &Host{
+		cfg:     cfg,
+		sim:     s,
+		disks:   disks,
+		striper: striper,
+		layout:  layout,
+		rng:     dist.NewRand(cfg.Seed),
+	}, nil
+}
+
+// Replay runs the whole trace and returns the makespan (the paper's
+// "I/O time" for the workload): the completion time of the last record
+// or, with FlushHDCAtEnd, of the final flush. Idle background sync
+// ticks past that point do not count.
+func (h *Host) Replay(t *trace.Trace) sim.Time {
+	h.records = t.Records
+	h.cursor = 0
+	h.active = 0
+	h.lastCompletion = 0
+	if h.cfg.ArrivalRate > 0 {
+		return h.replayOpenLoop()
+	}
+	streams := h.cfg.Streams
+	if streams > len(h.records) {
+		streams = len(h.records)
+	}
+	for i := 0; i < streams; i++ {
+		h.active++
+		h.startNext()
+	}
+	if h.cfg.SyncHDCEvery > 0 {
+		h.scheduleSync()
+	}
+	h.sim.Run()
+	return h.lastCompletion
+}
+
+// replayOpenLoop injects records as a Poisson arrival process and
+// collects per-record response times. Concurrency is unbounded, as in
+// an open system; the makespan is the last completion.
+func (h *Host) replayOpenLoop() sim.Time {
+	h.Latencies = make([]float64, 0, len(h.records))
+	arrivals := dist.NewRand(h.cfg.Seed + 0x9e3779b9)
+	at := 0.0
+	h.openPending = len(h.records)
+	for i := range h.records {
+		rec := h.records[i]
+		at += arrivals.ExpFloat64() / h.cfg.ArrivalRate
+		arrival := at
+		h.sim.At(at, func(sim.Time) {
+			reqs := h.buildRequests(rec)
+			if len(reqs) == 0 {
+				h.openRetire()
+				return
+			}
+			remaining := len(reqs)
+			done := func(now sim.Time) {
+				remaining--
+				if remaining == 0 {
+					h.Latencies = append(h.Latencies, now-arrival)
+					h.stamp(now)
+					h.openRetire()
+				}
+			}
+			for _, r := range reqs {
+				h.submit(rec, r, done)
+			}
+		})
+	}
+	h.cursor = len(h.records) // mark the trace consumed for scheduleSync
+	if h.cfg.SyncHDCEvery > 0 {
+		h.scheduleSync()
+	}
+	h.sim.Run()
+	return h.lastCompletion
+}
+
+// openRetire accounts one open-loop record's completion.
+func (h *Host) openRetire() {
+	h.openPending--
+	if h.openPending == 0 {
+		h.onDrained()
+	}
+}
+
+// scheduleSync arms the next periodic flush_hdc. The chain stops when
+// the trace has drained, so the simulation terminates.
+func (h *Host) scheduleSync() {
+	h.sim.After(h.cfg.SyncHDCEvery, func(sim.Time) {
+		drained := h.active == 0 && h.cursor >= len(h.records)
+		if h.cfg.ArrivalRate > 0 {
+			drained = h.openPending == 0
+		}
+		if drained {
+			return
+		}
+		for _, d := range h.disks {
+			d.FlushHDC(nil)
+		}
+		h.scheduleSync()
+	})
+}
+
+// onDrained runs when the last stream retires: it stamps the makespan
+// and issues the end-of-run flush, whose completions extend it.
+func (h *Host) onDrained() {
+	h.stamp(h.sim.Now())
+	if !h.cfg.FlushHDCAtEnd {
+		return
+	}
+	for _, d := range h.disks {
+		d.FlushHDC(func(now sim.Time) { h.stamp(now) })
+	}
+}
+
+func (h *Host) stamp(now sim.Time) {
+	if now > h.lastCompletion {
+		h.lastCompletion = now
+	}
+}
+
+// startNext advances one stream to its next trace record.
+func (h *Host) startNext() {
+	for {
+		if h.cursor >= len(h.records) {
+			h.active--
+			if h.active == 0 {
+				h.onDrained()
+			}
+			return
+		}
+		rec := h.records[h.cursor]
+		h.cursor++
+		reqs := h.buildRequests(rec)
+		if len(reqs) == 0 {
+			continue // record clamped to nothing; take the next one
+		}
+		if h.cfg.Issue == IssueSequential {
+			h.issueSequential(rec, reqs, 0)
+		} else {
+			h.issueAll(rec, reqs)
+		}
+		return
+	}
+}
+
+// issueAll dispatches every sub-request at once and advances the stream
+// when the last one completes.
+func (h *Host) issueAll(rec trace.Record, reqs []subRequest) {
+	remaining := len(reqs)
+	done := func(sim.Time) {
+		remaining--
+		if remaining == 0 {
+			h.startNext()
+		}
+	}
+	for _, r := range reqs {
+		h.submit(rec, r, done)
+	}
+}
+
+// issueSequential dispatches sub-requests one at a time.
+func (h *Host) issueSequential(rec trace.Record, reqs []subRequest, i int) {
+	h.submit(rec, reqs[i], func(sim.Time) {
+		if i+1 < len(reqs) {
+			h.issueSequential(rec, reqs, i+1)
+			return
+		}
+		h.startNext()
+	})
+}
+
+// failed reports whether physical disk i is marked down.
+func (h *Host) failed(i int) bool { return h.cfg.FailDisk > 0 && h.cfg.FailDisk-1 == i }
+
+// submit routes one sub-request to physical disks, handling mirroring
+// and degraded operation.
+func (h *Host) submit(rec trace.Record, r subRequest, done sim.Event) {
+	replicas := h.cfg.replicas()
+	base := r.disk * replicas
+	if rec.Write && replicas > 1 {
+		// Mirrored write: commit on every live replica before the
+		// record advances.
+		targets := make([]int, 0, replicas)
+		for i := 0; i < replicas; i++ {
+			if !h.failed(base + i) {
+				targets = append(targets, base+i)
+			}
+		}
+		remaining := len(targets)
+		each := func(now sim.Time) {
+			remaining--
+			if remaining == 0 && done != nil {
+				done(now)
+			}
+		}
+		for _, d := range targets {
+			h.IssuedRequests++
+			h.disks[d].Submit(disk.Request{
+				PBA: r.pba, Blocks: r.blocks, Write: true, Done: each,
+			})
+		}
+		return
+	}
+	h.IssuedRequests++
+	h.disks[base+h.pickReplica(base, replicas, r)].Submit(disk.Request{
+		PBA:    r.pba,
+		Blocks: r.blocks,
+		Write:  rec.Write,
+		Done:   done,
+	})
+}
+
+// pickReplica chooses which mirror serves a read: a live replica whose
+// HDC region has the whole range pinned wins outright (the
+// cooperative-HDC routing), otherwise the shortest live queue.
+func (h *Host) pickReplica(base, replicas int, r subRequest) int {
+	if replicas == 1 {
+		return 0
+	}
+	best, bestLen := 0, -1
+	for i := 0; i < replicas; i++ {
+		if h.failed(base + i) {
+			continue
+		}
+		d := h.disks[base+i]
+		if d.PinnedAll(r.pba, r.blocks) {
+			return i
+		}
+		if q := d.QueueLen(); bestLen < 0 || q < bestLen {
+			best, bestLen = i, q
+		}
+	}
+	return best
+}
+
+type subRequest struct {
+	disk   int
+	pba    int64
+	blocks int
+}
+
+// buildRequests turns one trace record into per-disk requests:
+// file blocks -> logical runs (fragmentation) -> per-disk physical runs
+// (striping) -> issued requests (probabilistic coalescing).
+func (h *Host) buildRequests(rec trace.Record) []subRequest {
+	blocks := h.layout.FileBlocks(int(rec.File))
+	lo := int(rec.Offset)
+	hi := lo + int(rec.Blocks)
+	if lo >= len(blocks) {
+		return nil
+	}
+	if hi > len(blocks) {
+		hi = len(blocks)
+	}
+	window := blocks[lo:hi]
+
+	var reqs []subRequest
+	// Walk maximal logically-contiguous runs of the accessed window.
+	i := 0
+	for i < len(window) {
+		j := i + 1
+		for j < len(window) && window[j] == window[j-1]+1 {
+			j++
+		}
+		for _, run := range h.striper.Split(window[i], j-i) {
+			reqs = h.splitForCoalescing(reqs, run)
+		}
+		i = j
+	}
+	return reqs
+}
+
+// splitForCoalescing cuts a physically contiguous run at each internal
+// junction that fails the coalescing coin flip.
+func (h *Host) splitForCoalescing(reqs []subRequest, run array.Run) []subRequest {
+	start := run.PBA
+	length := 1
+	for b := 1; b < run.Blocks; b++ {
+		if dist.Bernoulli(h.rng, h.cfg.CoalesceProb) {
+			length++
+			continue
+		}
+		reqs = append(reqs, subRequest{disk: run.Disk, pba: start, blocks: length})
+		start = run.PBA + int64(b)
+		length = 1
+	}
+	return append(reqs, subRequest{disk: run.Disk, pba: start, blocks: length})
+}
+
+// ---- aggregate results --------------------------------------------------------
+
+// ArrayStats sums per-disk counters.
+type ArrayStats struct {
+	PerDisk []disk.Stats
+}
+
+// Collect snapshots every disk's stats.
+func Collect(disks []*disk.Disk) ArrayStats {
+	out := ArrayStats{PerDisk: make([]disk.Stats, len(disks))}
+	for i, d := range disks {
+		out.PerDisk[i] = d.Stats()
+	}
+	return out
+}
+
+// Accesses reports total requests across the array.
+func (a ArrayStats) Accesses() uint64 {
+	var n uint64
+	for _, s := range a.PerDisk {
+		n += s.Accesses()
+	}
+	return n
+}
+
+// HDCHitRate reports the array-wide pinned-region hit rate, the metric
+// of Figures 5, 8, 10 and 12.
+func (a ArrayStats) HDCHitRate() float64 {
+	var hits, total uint64
+	for _, s := range a.PerDisk {
+		hits += s.HDCReadHits + s.HDCWriteHits
+		total += s.Accesses()
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// HitRate reports the array-wide controller-cache hit rate.
+func (a ArrayStats) HitRate() float64 {
+	var hits, total uint64
+	for _, s := range a.PerDisk {
+		hits += s.ReadHits + s.LateHits + s.HDCReadHits + s.HDCWriteHits
+		total += s.Accesses()
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// MediaBlocks reports blocks moved at the platters, including read-ahead.
+func (a ArrayStats) MediaBlocks() uint64 {
+	var n uint64
+	for _, s := range a.PerDisk {
+		n += s.MediaBlocks
+	}
+	return n
+}
+
+// BusyTime reports summed mechanical busy seconds.
+func (a ArrayStats) BusyTime() float64 {
+	var t float64
+	for _, s := range a.PerDisk {
+		t += s.BusyTime()
+	}
+	return t
+}
+
+// MaxBusyTime reports the busiest disk's mechanical time — the load
+// balance indicator behind the striping-unit sweeps.
+func (a ArrayStats) MaxBusyTime() float64 {
+	var m float64
+	for _, s := range a.PerDisk {
+		if b := s.BusyTime(); b > m {
+			m = b
+		}
+	}
+	return m
+}

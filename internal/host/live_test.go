@@ -1,0 +1,190 @@
+package host
+
+import (
+	"testing"
+
+	"diskthru/internal/array"
+	"diskthru/internal/bus"
+	"diskthru/internal/disk"
+	"diskthru/internal/fslayout"
+	"diskthru/internal/geom"
+	"diskthru/internal/sched"
+	"diskthru/internal/sim"
+	"diskthru/internal/trace"
+)
+
+// liveRig assembles a 2-disk array plus a layout with ten 4-block files.
+type liveRig struct {
+	sim     *sim.Simulator
+	bus     *bus.Bus
+	disks   []*disk.Disk
+	striper array.Striper
+	layout  *fslayout.Layout
+}
+
+func newLiveRig(t *testing.T, hdcBytes int) *liveRig {
+	t.Helper()
+	s := sim.New()
+	b := bus.New(s, bus.Ultra160())
+	striper := array.NewStriper(2, 32)
+	layout := fslayout.New(1 << 20)
+	for i := 0; i < 10; i++ {
+		if _, err := layout.Alloc(4, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := disk.Config{
+		Geom:         geom.Ultrastar36Z15(),
+		Sched:        sched.LOOK,
+		CacheBytes:   4 << 20,
+		SegmentBytes: 128 << 10,
+		MaxSegments:  27,
+		HDCBytes:     hdcBytes,
+	}
+	disks := make([]*disk.Disk, 2)
+	for i := range disks {
+		d, err := disk.New(s, b, i, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disks[i] = d
+	}
+	return &liveRig{sim: s, bus: b, disks: disks, striper: striper, layout: layout}
+}
+
+func (r *liveRig) live(t *testing.T, cfg LiveConfig) *Live {
+	t.Helper()
+	l, err := NewLive(r.sim, r.bus, r.disks, r.striper, r.layout, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func fileTrace(n int) *trace.Trace {
+	tr := &trace.Trace{}
+	for i := 0; i < n; i++ {
+		tr.Records = append(tr.Records, trace.Record{File: int32(i % 10), Blocks: 4})
+	}
+	return tr
+}
+
+func TestLiveAbsorbsRepeatAccesses(t *testing.T) {
+	r := newLiveRig(t, 0)
+	l := r.live(t, LiveConfig{Streams: 1, CoalesceProb: 1, CacheBlocks: 64})
+	end := l.Replay(fileTrace(30))
+	if end <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	// 10 distinct files fit the 64-block cache: 20 of 30 records absorb.
+	if l.Absorbed != 20 {
+		t.Fatalf("Absorbed = %d, want 20", l.Absorbed)
+	}
+	if hr := l.CacheHitRate(); hr <= 0.5 {
+		t.Fatalf("cache hit rate = %v", hr)
+	}
+}
+
+func TestLiveDirtyEvictionsReachDisks(t *testing.T) {
+	r := newLiveRig(t, 0)
+	l := r.live(t, LiveConfig{Streams: 1, CoalesceProb: 1, CacheBlocks: 8})
+	tr := &trace.Trace{}
+	// Write every file once: the 8-block cache churns, forcing dirty
+	// evictions (plus the final flush).
+	for i := 0; i < 10; i++ {
+		tr.Records = append(tr.Records, trace.Record{File: int32(i), Blocks: 4, Write: true})
+	}
+	l.Replay(tr)
+	var writes uint64
+	for _, d := range r.disks {
+		writes += d.Stats().Writes
+	}
+	if writes == 0 {
+		t.Fatal("no dirty eviction reached a disk")
+	}
+	// All 40 dirty blocks eventually commit (evictions + final flush).
+	var wroteBlocks uint64
+	for _, d := range r.disks {
+		st := d.Stats()
+		wroteBlocks += st.RequestedBlocks
+	}
+	if wroteBlocks != 40 {
+		t.Fatalf("committed %d blocks, want 40", wroteBlocks)
+	}
+}
+
+func TestLiveVictimInsertAndHit(t *testing.T) {
+	r := newLiveRig(t, 1<<20)
+	l := r.live(t, LiveConfig{Streams: 1, CoalesceProb: 1, CacheBlocks: 8, Victim: true})
+	tr := &trace.Trace{}
+	// Two passes over all files: pass one fills the cache and spills
+	// clean evictions into the victim regions; pass two re-reads them.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 10; i++ {
+			tr.Records = append(tr.Records, trace.Record{File: int32(i), Blocks: 4})
+		}
+	}
+	l.Replay(tr)
+	if l.VictimInserts == 0 {
+		t.Fatal("no victim insertions")
+	}
+	var hdcHits uint64
+	for _, d := range r.disks {
+		st := d.Stats()
+		hdcHits += st.HDCReadHits
+	}
+	if hdcHits == 0 {
+		t.Fatal("victim region never served a read")
+	}
+}
+
+func TestLiveVictimFIFOAgesOut(t *testing.T) {
+	// Victim capacity of 4 blocks per disk: inserting many clean
+	// evictions must keep the pinned count at capacity.
+	r := newLiveRig(t, 4*4096)
+	l := r.live(t, LiveConfig{Streams: 1, CoalesceProb: 1, CacheBlocks: 4, Victim: true})
+	l.Replay(fileTrace(40))
+	for i, d := range r.disks {
+		if got := d.HDC().Len(); got > d.HDC().Capacity() {
+			t.Fatalf("disk %d pinned %d of %d", i, got, d.HDC().Capacity())
+		}
+	}
+	if l.VictimInserts < 10 {
+		t.Fatalf("VictimInserts = %d, want churn", l.VictimInserts)
+	}
+}
+
+func TestLiveConfigValidation(t *testing.T) {
+	r := newLiveRig(t, 0)
+	for _, cfg := range []LiveConfig{
+		{Streams: 0, CoalesceProb: 0.5, CacheBlocks: 8},
+		{Streams: 1, CoalesceProb: -1, CacheBlocks: 8},
+		{Streams: 1, CoalesceProb: 0.5, CacheBlocks: 0},
+	} {
+		if _, err := NewLive(r.sim, r.bus, r.disks, r.striper, r.layout, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	// Disk/striper mismatch.
+	if _, err := NewLive(r.sim, r.bus, r.disks[:1], r.striper, r.layout,
+		LiveConfig{Streams: 1, CacheBlocks: 8}); err == nil {
+		t.Error("mismatched striper accepted")
+	}
+}
+
+func TestLiveRecordPastEOFSkipped(t *testing.T) {
+	r := newLiveRig(t, 0)
+	l := r.live(t, LiveConfig{Streams: 1, CoalesceProb: 1, CacheBlocks: 8})
+	tr := &trace.Trace{Records: []trace.Record{
+		{File: 0, Offset: 99, Blocks: 2}, // beyond EOF: dropped
+		{File: 0, Offset: 0, Blocks: 4},
+	}}
+	l.Replay(tr)
+	var reqd uint64
+	for _, d := range r.disks {
+		reqd += d.Stats().RequestedBlocks
+	}
+	if reqd != 4 {
+		t.Fatalf("requested %d blocks, want 4", reqd)
+	}
+}

@@ -1,0 +1,62 @@
+package host
+
+import (
+	"diskthru/internal/array"
+	"diskthru/internal/fslayout"
+	"diskthru/internal/trace"
+)
+
+// PlanHDC selects, for each disk, the physical blocks to pin: the blocks
+// that receive the most accesses in the disk-level trace, each stored on
+// its own disk (the paper's "perfect knowledge of the future" policy,
+// section 6.1). perDiskBlocks bounds each controller's pinned region.
+// The returned slice is indexed by disk.
+func PlanHDC(t *trace.Trace, l *fslayout.Layout, s array.Striper, perDiskBlocks int) [][]int64 {
+	plan := make([][]int64, s.Disks)
+	if perDiskBlocks <= 0 {
+		return plan
+	}
+	full := 0
+	for _, bc := range t.BlockCounts(l).Ranked() {
+		d, pba := s.Locate(bc.Block)
+		if len(plan[d]) >= perDiskBlocks {
+			continue
+		}
+		plan[d] = append(plan[d], pba)
+		if len(plan[d]) == perDiskBlocks {
+			full++
+			if full == s.Disks {
+				break
+			}
+		}
+	}
+	return plan
+}
+
+// MinReadAheadBlocks is the paper's R_min sizing rule (section 5): the
+// minimum read-ahead cache an array needs to serve t streams without
+// interference. Blind read-ahead needs a whole segment per stream;
+// FOR needs only the average file size per stream.
+func MinReadAheadBlocks(streams, segmentBlocks, avgFileBlocks int, useFOR bool) int {
+	if useFOR && avgFileBlocks < segmentBlocks {
+		return streams * avgFileBlocks
+	}
+	return streams * segmentBlocks
+}
+
+// MaxHDCBlocks is H_max = D*c - R_min from section 5: the most cache the
+// host should hand to HDC array-wide, given each controller holds
+// cacheBlocks.
+func MaxHDCBlocks(disks, cacheBlocks, minReadAheadBlocks int) int {
+	h := disks*cacheBlocks - minReadAheadBlocks
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// BuildBitmaps is a convenience re-export so callers assembling an array
+// need only import host.
+func BuildBitmaps(l *fslayout.Layout, s array.Striper) []*fslayout.Bitmap {
+	return fslayout.BuildBitmaps(l, s)
+}

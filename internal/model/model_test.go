@@ -1,0 +1,119 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"diskthru/internal/geom"
+)
+
+func TestGamma(t *testing.T) {
+	cases := map[int]float64{1: 1, 2: 4.0 / 3, 4: 1.6, 8: 16.0 / 9}
+	for d, want := range cases {
+		if got := Gamma(d); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Gamma(%d) = %v, want %v", d, got, want)
+		}
+	}
+	if Gamma(0) != 0 || Gamma(-1) != 0 {
+		t.Fatal("Gamma of non-positive d should be 0")
+	}
+}
+
+func TestStripedResponseTradeoff(t *testing.T) {
+	g := geom.Ultrastar36Z15()
+	// Striping pays off once the transfer term dominates seek+rotation
+	// (the model's crossover is at transfer ~= seek+rot, ~75 blocks for
+	// this drive): a 256-block request gains from 2-way striping...
+	one := StripedResponse(g, 256, 1)
+	two := StripedResponse(g, 256, 2)
+	if two >= one {
+		t.Fatalf("2-way striping (%v) not better than 1 (%v) for 256 blocks", two, one)
+	}
+	// ...but a 2-block request gains nothing from 8-way fan-out: each
+	// sub-request still pays a full seek+rotation.
+	small1 := StripedResponse(g, 2, 1)
+	small8 := StripedResponse(g, 2, 8)
+	if small8 <= small1 {
+		t.Fatalf("8-way fan-out (%v) should hurt a 2-block request (%v)", small8, small1)
+	}
+	if StripedResponse(g, 0, 4) != 0 || StripedResponse(g, 4, 0) != 0 {
+		t.Fatal("degenerate cases should be 0")
+	}
+}
+
+func TestUtilizationReductionPaperExample(t *testing.T) {
+	g := geom.Ultrastar36Z15()
+	// Section 4: 4-KB files vs 128-KB blind read-ahead -> ~29%.
+	got := UtilizationReduction(g, 1, 32)
+	if got < 0.24 || got > 0.34 {
+		t.Fatalf("reduction = %v, paper reports ~0.29", got)
+	}
+	if UtilizationReduction(g, 32, 32) != 0 {
+		t.Fatal("no reduction when file fills the read-ahead")
+	}
+	if UtilizationReduction(g, 0, 32) != 0 {
+		t.Fatal("degenerate file size should be 0")
+	}
+}
+
+func TestHitRateModels(t *testing.T) {
+	// Conventional, t <= s, small files: min(f, c/s) = f.
+	if got := ConventionalHitRate(16, 27, 864, 4, 1); got != 0.75 {
+		t.Fatalf("conventional = %v, want 0.75", got)
+	}
+	// Conventional, t <= s, large files: min = c/s = 32.
+	if got := ConventionalHitRate(16, 27, 864, 64, 1); got != 31.0/32 {
+		t.Fatalf("conventional = %v, want 31/32", got)
+	}
+	// Conventional, t > s.
+	if got := ConventionalHitRate(100, 27, 864, 4, 2); got != 0.5 {
+		t.Fatalf("conventional = %v, want 0.5", got)
+	}
+	if got := ConventionalHitRate(100, 27, 864, 4, 0); got != 0 {
+		t.Fatalf("conventional p=0 = %v", got)
+	}
+	// FOR branches.
+	if got := FORHitRate(16, 864, 4, 1); got != 0.75 {
+		t.Fatalf("FOR = %v, want 0.75", got)
+	}
+	if got := FORHitRate(500, 864, 4, 2); got != 0.5 {
+		t.Fatalf("FOR = %v, want 0.5", got)
+	}
+	if got := FORHitRate(10, 864, 0, 1); got != 0 {
+		t.Fatalf("FOR f=0 = %v", got)
+	}
+}
+
+// Section 4's conclusion: FOR's hit rate dominates the conventional one
+// whenever files are smaller than a segment, streams exceed the segment
+// count, and the block pool still fits them.
+func TestFORDominatesConventional(t *testing.T) {
+	const c, s, p = 864, 27, 1
+	for _, f := range []int{2, 4, 8, 16} {
+		for _, streams := range []int{28, 64, 128, 200} {
+			if streams > c/f {
+				continue
+			}
+			conv := ConventionalHitRate(streams, s, c, f, p)
+			forr := FORHitRate(streams, c, f, p)
+			if forr < conv {
+				t.Fatalf("f=%d t=%d: FOR %v < conventional %v", f, streams, forr, conv)
+			}
+		}
+	}
+}
+
+func TestFORSpeedupBound(t *testing.T) {
+	g := geom.Ultrastar36Z15()
+	bound := FORSpeedupBound(g, 4, 32)
+	if bound <= 0 || bound >= 1 {
+		t.Fatalf("speedup bound = %v, want in (0,1)", bound)
+	}
+	if FORSpeedupBound(g, 0, 32) != 1 {
+		t.Fatal("degenerate bound should be 1")
+	}
+	// The bound tightens as files shrink.
+	if FORSpeedupBound(g, 1, 32) >= FORSpeedupBound(g, 16, 32) {
+		t.Fatal("bound not monotone in file size")
+	}
+}

@@ -1,0 +1,227 @@
+// Package sched implements the disk-request scheduling disciplines run by
+// each disk controller's queue. The paper's controllers use LOOK
+// (section 6.1); FCFS, SSTF and C-LOOK are provided for ablation studies.
+package sched
+
+import "fmt"
+
+// Request is the unit a scheduler orders: an opaque payload bound for a
+// target cylinder.
+type Request struct {
+	Cyl     int
+	Payload any
+
+	seq uint64 // arrival order, for stable tie-breaking
+}
+
+// Queue is a disk-request scheduling discipline. Implementations are not
+// safe for concurrent use; the simulator is single-threaded by design.
+type Queue interface {
+	// Push adds a request to the queue.
+	Push(Request)
+	// Next removes and returns the request to service next given the
+	// current head cylinder. ok is false when the queue is empty.
+	Next(headCyl int) (r Request, ok bool)
+	// Len reports the number of queued requests.
+	Len() int
+	// Name identifies the discipline (e.g. "LOOK").
+	Name() string
+}
+
+// Policy selects a scheduling discipline by name.
+type Policy int
+
+const (
+	// LOOK sweeps the head across cylinders, servicing requests in sweep
+	// order and reversing when none remain ahead. The paper's default.
+	LOOK Policy = iota
+	// FCFS services requests in arrival order.
+	FCFS
+	// SSTF services the request with the shortest seek from the head.
+	SSTF
+	// CLOOK sweeps upward only, wrapping to the lowest pending cylinder.
+	CLOOK
+)
+
+// String returns the conventional name of the policy.
+func (p Policy) String() string {
+	switch p {
+	case LOOK:
+		return "LOOK"
+	case FCFS:
+		return "FCFS"
+	case SSTF:
+		return "SSTF"
+	case CLOOK:
+		return "C-LOOK"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// New returns an empty queue implementing the policy.
+func New(p Policy) Queue {
+	switch p {
+	case LOOK:
+		return &lookQueue{up: true}
+	case FCFS:
+		return &fcfsQueue{}
+	case SSTF:
+		return &sstfQueue{}
+	case CLOOK:
+		return &clookQueue{}
+	default:
+		panic(fmt.Sprintf("sched: unknown policy %d", int(p)))
+	}
+}
+
+// ---- shared sorted-slice core -------------------------------------------
+
+// sortedQueue keeps requests ordered by (cylinder, arrival seq). Queue
+// depths are bounded by the number of concurrent streams (<= ~1K), so
+// linear insertion is cheap and keeps the code obvious.
+type sortedQueue struct {
+	items []Request
+	next  uint64
+}
+
+func (q *sortedQueue) push(r Request) {
+	r.seq = q.next
+	q.next++
+	i := len(q.items)
+	for i > 0 {
+		prev := q.items[i-1]
+		if prev.Cyl < r.Cyl || (prev.Cyl == r.Cyl && prev.seq < r.seq) {
+			break
+		}
+		i--
+	}
+	q.items = append(q.items, Request{})
+	copy(q.items[i+1:], q.items[i:])
+	q.items[i] = r
+}
+
+func (q *sortedQueue) removeAt(i int) Request {
+	r := q.items[i]
+	q.items = append(q.items[:i], q.items[i+1:]...)
+	return r
+}
+
+// firstAtOrAbove returns the index of the first request with Cyl >= c,
+// or len(items) if none.
+func (q *sortedQueue) firstAtOrAbove(c int) int {
+	lo, hi := 0, len(q.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q.items[mid].Cyl < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ---- LOOK ----------------------------------------------------------------
+
+type lookQueue struct {
+	sortedQueue
+	up bool
+}
+
+func (q *lookQueue) Name() string   { return "LOOK" }
+func (q *lookQueue) Len() int       { return len(q.items) }
+func (q *lookQueue) Push(r Request) { q.push(r) }
+
+func (q *lookQueue) Next(head int) (Request, bool) {
+	if len(q.items) == 0 {
+		return Request{}, false
+	}
+	if q.up {
+		if i := q.firstAtOrAbove(head); i < len(q.items) {
+			return q.removeAt(i), true
+		}
+		q.up = false
+	}
+	if !q.up {
+		// Sweep downward: the last request at or below head.
+		i := q.firstAtOrAbove(head + 1)
+		if i > 0 {
+			return q.removeAt(i - 1), true
+		}
+		// Nothing below either; reverse and take the lowest above.
+		q.up = true
+		return q.removeAt(0), true
+	}
+	return Request{}, false
+}
+
+// ---- FCFS ----------------------------------------------------------------
+
+type fcfsQueue struct {
+	items []Request
+}
+
+func (q *fcfsQueue) Name() string   { return "FCFS" }
+func (q *fcfsQueue) Len() int       { return len(q.items) }
+func (q *fcfsQueue) Push(r Request) { q.items = append(q.items, r) }
+
+func (q *fcfsQueue) Next(int) (Request, bool) {
+	if len(q.items) == 0 {
+		return Request{}, false
+	}
+	r := q.items[0]
+	q.items = q.items[1:]
+	return r, true
+}
+
+// ---- SSTF ----------------------------------------------------------------
+
+type sstfQueue struct {
+	sortedQueue
+}
+
+func (q *sstfQueue) Name() string   { return "SSTF" }
+func (q *sstfQueue) Len() int       { return len(q.items) }
+func (q *sstfQueue) Push(r Request) { q.push(r) }
+
+func (q *sstfQueue) Next(head int) (Request, bool) {
+	if len(q.items) == 0 {
+		return Request{}, false
+	}
+	i := q.firstAtOrAbove(head)
+	// Candidates are items[i] (first at/above) and items[i-1] (last below).
+	switch {
+	case i == len(q.items):
+		return q.removeAt(i - 1), true
+	case i == 0:
+		return q.removeAt(0), true
+	default:
+		above := q.items[i].Cyl - head
+		below := head - q.items[i-1].Cyl
+		if below < above {
+			return q.removeAt(i - 1), true
+		}
+		return q.removeAt(i), true
+	}
+}
+
+// ---- C-LOOK ---------------------------------------------------------------
+
+type clookQueue struct {
+	sortedQueue
+}
+
+func (q *clookQueue) Name() string   { return "C-LOOK" }
+func (q *clookQueue) Len() int       { return len(q.items) }
+func (q *clookQueue) Push(r Request) { q.push(r) }
+
+func (q *clookQueue) Next(head int) (Request, bool) {
+	if len(q.items) == 0 {
+		return Request{}, false
+	}
+	if i := q.firstAtOrAbove(head); i < len(q.items) {
+		return q.removeAt(i), true
+	}
+	return q.removeAt(0), true
+}

@@ -1,0 +1,68 @@
+package sim
+
+// Resource models a single server that processes work items one at a time
+// in FIFO order, each occupying the server for a caller-supplied duration.
+// It is the building block for the shared SCSI bus and any other
+// serially-shared component.
+type Resource struct {
+	sim  *Simulator
+	name string
+
+	busyUntil Time
+	queue     []resJob
+
+	// Busy accumulates total occupied seconds, for utilization reports.
+	Busy float64
+	// Served counts completed jobs.
+	Served uint64
+}
+
+type resJob struct {
+	dur  float64
+	done Event
+}
+
+// NewResource returns an idle FIFO resource attached to s.
+func NewResource(s *Simulator, name string) *Resource {
+	return &Resource{sim: s, name: name}
+}
+
+// Name reports the label given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire enqueues a job holding the resource for dur seconds; done fires
+// when the job completes. Zero-duration jobs are legal and still respect
+// FIFO ordering.
+func (r *Resource) Acquire(dur float64, done Event) {
+	if dur < 0 {
+		panic("sim: negative resource hold duration")
+	}
+	start := r.busyUntil
+	if now := r.sim.Now(); start < now {
+		start = now
+	}
+	end := start + dur
+	r.busyUntil = end
+	r.Busy += dur
+	r.queue = append(r.queue, resJob{dur: dur, done: done})
+	r.sim.At(end, func(now Time) {
+		job := r.queue[0]
+		r.queue = r.queue[1:]
+		r.Served++
+		if job.done != nil {
+			job.done(now)
+		}
+	})
+}
+
+// QueueLen reports the number of jobs admitted but not yet completed.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Utilization reports the fraction of virtual time the resource has been
+// busy, given the current clock. Returns 0 before any time has passed.
+func (r *Resource) Utilization() float64 {
+	if now := r.sim.Now(); now > 0 {
+		return r.Busy / now
+	}
+	return 0
+}

@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	s := New()
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", s.Now())
+	}
+	if s.Pending() != 0 || s.Processed() != 0 {
+		t.Fatalf("fresh simulator has pending=%d processed=%d", s.Pending(), s.Processed())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var got []float64
+	times := []float64{5, 1, 3, 2, 4, 0.5}
+	for _, at := range times {
+		at := at
+		s.At(at, func(now Time) { got = append(got, now) })
+	}
+	end := s.Run()
+	if end != 5 {
+		t.Fatalf("Run() = %v, want 5", end)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(got), len(times))
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(1.0, func(Time) { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New()
+	var at Time
+	s.At(2, func(Time) {
+		s.After(3, func(now Time) { at = now })
+	})
+	s.Run()
+	if at != 5 {
+		t.Fatalf("After fired at %v, want 5", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func(Time) {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(5, func(Time) {})
+}
+
+func TestNilEventPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event did not panic")
+		}
+	}()
+	s.At(1, nil)
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	s := New()
+	fired := 0
+	for _, at := range []float64{1, 2, 3, 10, 20} {
+		s.At(at, func(Time) { fired++ })
+	}
+	now := s.RunUntil(5)
+	if now != 5 {
+		t.Fatalf("RunUntil returned %v, want 5", now)
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d events before deadline, want 3", fired)
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if fired != 5 {
+		t.Fatalf("fired %d events total, want 5", fired)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := New()
+	if got := s.RunUntil(7); got != 7 {
+		t.Fatalf("RunUntil on empty queue = %v, want 7", got)
+	}
+	if s.Now() != 7 {
+		t.Fatalf("Now() = %v, want 7", s.Now())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+// Property: for any set of non-negative event times, Run fires them all in
+// non-decreasing time order and ends the clock at the max.
+func TestPropertyHeapOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New()
+		var maxAt float64
+		var fired []float64
+		for _, r := range raw {
+			at := float64(r) / 16.0
+			if at > maxAt {
+				maxAt = at
+			}
+			s.At(at, func(now Time) { fired = append(fired, now) })
+		}
+		end := s.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		if len(raw) > 0 && end != maxAt {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCascadingEventsDeterministic(t *testing.T) {
+	run := func() []float64 {
+		s := New()
+		rng := rand.New(rand.NewSource(42))
+		var trace []float64
+		var spawn func(depth int) Event
+		spawn = func(depth int) Event {
+			return func(now Time) {
+				trace = append(trace, now)
+				if depth < 4 {
+					for i := 0; i < 3; i++ {
+						s.After(rng.Float64(), spawn(depth+1))
+					}
+				}
+			}
+		}
+		s.At(0, spawn(0))
+		s.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic trace at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestResourceFIFOAndTiming(t *testing.T) {
+	s := New()
+	r := NewResource(s, "bus")
+	var done []Time
+	s.At(0, func(Time) {
+		r.Acquire(2, func(now Time) { done = append(done, now) })
+		r.Acquire(3, func(now Time) { done = append(done, now) })
+	})
+	s.At(1, func(Time) {
+		r.Acquire(1, func(now Time) { done = append(done, now) })
+	})
+	s.Run()
+	want := []Time{2, 5, 6}
+	if len(done) != len(want) {
+		t.Fatalf("completions = %v, want %v", done, want)
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completion %d at %v, want %v", i, done[i], want[i])
+		}
+	}
+	if r.Served != 3 {
+		t.Fatalf("Served = %d, want 3", r.Served)
+	}
+	if r.Busy != 6 {
+		t.Fatalf("Busy = %v, want 6", r.Busy)
+	}
+	if got := r.Utilization(); got != 1.0 {
+		t.Fatalf("Utilization = %v, want 1.0", got)
+	}
+}
+
+func TestResourceIdleGapNotCounted(t *testing.T) {
+	s := New()
+	r := NewResource(s, "bus")
+	s.At(0, func(Time) { r.Acquire(1, nil) })
+	s.At(10, func(Time) { r.Acquire(1, nil) })
+	s.Run()
+	if s.Now() != 11 {
+		t.Fatalf("end = %v, want 11", s.Now())
+	}
+	if r.Busy != 2 {
+		t.Fatalf("Busy = %v, want 2", r.Busy)
+	}
+}
+
+func TestResourceZeroDuration(t *testing.T) {
+	s := New()
+	r := NewResource(s, "r")
+	order := []int{}
+	s.At(0, func(Time) {
+		r.Acquire(0, func(Time) { order = append(order, 1) })
+		r.Acquire(0, func(Time) { order = append(order, 2) })
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("zero-duration jobs order = %v", order)
+	}
+}
+
+func TestResourceNegativeDurationPanics(t *testing.T) {
+	s := New()
+	r := NewResource(s, "r")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative duration did not panic")
+		}
+	}()
+	r.Acquire(-1, nil)
+}
+
+// Property: a resource's total busy time equals the sum of job durations,
+// and the last completion is at least that sum (FIFO work conservation).
+func TestPropertyResourceWorkConservation(t *testing.T) {
+	f := func(durs []uint8) bool {
+		s := New()
+		r := NewResource(s, "r")
+		var sum float64
+		var last Time
+		s.At(0, func(Time) {
+			for _, d := range durs {
+				dur := float64(d) / 8.0
+				sum += dur
+				r.Acquire(dur, func(now Time) { last = now })
+			}
+		})
+		s.Run()
+		const eps = 1e-9
+		if r.Busy < sum-eps || r.Busy > sum+eps {
+			return false
+		}
+		return len(durs) == 0 || (last >= sum-eps && last <= sum+eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package stats provides the small statistical containers shared by the
+// workload generators and experiment drivers: per-block access counters
+// (for Figure 2 and the HDC planner), log-bucketed histograms, and running
+// summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AccessCounter counts accesses per logical block.
+type AccessCounter struct {
+	counts map[int64]uint32
+	total  uint64
+}
+
+// NewAccessCounter returns an empty counter.
+func NewAccessCounter() *AccessCounter {
+	return &AccessCounter{counts: make(map[int64]uint32)}
+}
+
+// Add records n accesses to block b.
+func (c *AccessCounter) Add(b int64, n int) {
+	if n <= 0 {
+		return
+	}
+	c.counts[b] += uint32(n)
+	c.total += uint64(n)
+}
+
+// Total reports the number of recorded accesses.
+func (c *AccessCounter) Total() uint64 { return c.total }
+
+// Distinct reports how many distinct blocks were accessed.
+func (c *AccessCounter) Distinct() int { return len(c.counts) }
+
+// Count reports the accesses to one block.
+func (c *AccessCounter) Count(b int64) int { return int(c.counts[b]) }
+
+// BlockCount pairs a block with its access count.
+type BlockCount struct {
+	Block int64
+	Count int
+}
+
+// Ranked returns all blocks sorted by count descending, block ascending —
+// the deterministic order the HDC planner pins in and Figure 2 plots.
+func (c *AccessCounter) Ranked() []BlockCount {
+	out := make([]BlockCount, 0, len(c.counts))
+	for b, n := range c.counts {
+		out = append(out, BlockCount{Block: b, Count: int(n)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Block < out[j].Block
+	})
+	return out
+}
+
+// TopN returns the first n entries of Ranked (all of them if fewer).
+func (c *AccessCounter) TopN(n int) []BlockCount {
+	r := c.Ranked()
+	if n < len(r) {
+		r = r[:n]
+	}
+	return r
+}
+
+// Summary accumulates a running mean/min/max.
+type Summary struct {
+	n          int
+	sum        float64
+	min, max   float64
+	sumSquares float64
+}
+
+// Observe adds one sample.
+func (s *Summary) Observe(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumSquares += v * v
+}
+
+// N reports the sample count.
+func (s *Summary) N() int { return s.n }
+
+// Mean reports the sample mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min reports the smallest sample (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max reports the largest sample (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// StdDev reports the population standard deviation (0 when empty).
+func (s *Summary) StdDev() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSquares/float64(s.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// String formats the summary for reports.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g min=%.4g max=%.4g sd=%.4g",
+		s.n, s.Mean(), s.min, s.max, s.StdDev())
+}
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi); samples
+// outside the range land in the edge buckets.
+type Histogram struct {
+	Lo, Hi  float64
+	buckets []uint64
+	n       uint64
+}
+
+// NewHistogram returns a histogram with the given bucket count.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: bad histogram [%v,%v)/%d", lo, hi, buckets))
+	}
+	return &Histogram{Lo: lo, Hi: hi, buckets: make([]uint64, buckets)}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v float64) {
+	i := int(float64(len(h.buckets)) * (v - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.n++
+}
+
+// N reports the sample count.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Bucket reports the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Buckets reports the bucket count.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// Quantile reports an approximate q-quantile (bucket midpoint).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.n))
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			width := (h.Hi - h.Lo) / float64(len(h.buckets))
+			return h.Lo + (float64(i)+0.5)*width
+		}
+	}
+	return h.Hi
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessCounterBasics(t *testing.T) {
+	c := NewAccessCounter()
+	c.Add(5, 3)
+	c.Add(7, 1)
+	c.Add(5, 2)
+	c.Add(9, 0)  // ignored
+	c.Add(9, -1) // ignored
+	if c.Total() != 6 || c.Distinct() != 2 {
+		t.Fatalf("total=%d distinct=%d", c.Total(), c.Distinct())
+	}
+	if c.Count(5) != 5 || c.Count(7) != 1 || c.Count(99) != 0 {
+		t.Fatal("wrong counts")
+	}
+}
+
+func TestRankedOrderDeterministic(t *testing.T) {
+	c := NewAccessCounter()
+	c.Add(10, 2)
+	c.Add(3, 2)
+	c.Add(7, 5)
+	r := c.Ranked()
+	want := []BlockCount{{7, 5}, {3, 2}, {10, 2}}
+	if len(r) != 3 {
+		t.Fatalf("ranked = %v", r)
+	}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranked = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestTopN(t *testing.T) {
+	c := NewAccessCounter()
+	for i := int64(0); i < 10; i++ {
+		c.Add(i, int(i)+1)
+	}
+	top := c.TopN(3)
+	if len(top) != 3 || top[0].Block != 9 || top[2].Block != 7 {
+		t.Fatalf("TopN = %v", top)
+	}
+	if got := c.TopN(100); len(got) != 10 {
+		t.Fatalf("TopN over-asks = %d entries", len(got))
+	}
+}
+
+// Property: Ranked is sorted by count desc then block asc and preserves
+// totals.
+func TestPropertyRankedSorted(t *testing.T) {
+	f := func(raw []uint8) bool {
+		c := NewAccessCounter()
+		var total uint64
+		for _, v := range raw {
+			c.Add(int64(v%32), int(v%5)+1)
+			total += uint64(v%5) + 1
+		}
+		r := c.Ranked()
+		var sum uint64
+		for i, bc := range r {
+			sum += uint64(bc.Count)
+			if i > 0 {
+				prev := r[i-1]
+				if bc.Count > prev.Count {
+					return false
+				}
+				if bc.Count == prev.Count && bc.Block <= prev.Block {
+					return false
+				}
+			}
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 || s.N() != 0 {
+		t.Fatal("empty summary non-zero")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if s.N() != 8 || s.Mean() != 5 || s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("summary = %v", s.String())
+	}
+	if math.Abs(s.StdDev()-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", s.StdDev())
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, v := range []float64{0.5, 1.5, 1.7, 9.9, -3, 42} {
+		h.Observe(v)
+	}
+	if h.N() != 6 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Bucket(0) != 2 { // 0.5 and clamped -3
+		t.Fatalf("bucket 0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 2 {
+		t.Fatalf("bucket 1 = %d", h.Bucket(1))
+	}
+	if h.Bucket(9) != 2 { // 9.9 and clamped 42
+		t.Fatalf("bucket 9 = %d", h.Bucket(9))
+	}
+	if h.Buckets() != 10 {
+		t.Fatalf("Buckets = %d", h.Buckets())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50.5) > 1.0 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := h.Quantile(0.99); q < 95 {
+		t.Fatalf("p99 = %v", q)
+	}
+	empty := NewHistogram(0, 1, 4)
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile non-zero")
+	}
+}
+
+func TestHistogramBadConfigPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(10, 10, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hardens the binary codec against corrupt inputs: Decode
+// must either return a valid trace or an error — never panic, never
+// allocate unboundedly.
+func FuzzDecode(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Encode(&seed, &Trace{Records: []Record{
+		{File: 1, Offset: 2, Blocks: 3},
+		{File: 4, Offset: 0, Blocks: 1, Write: true},
+	}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{'D', 'T', 'R', 1})
+	f.Add([]byte{'D', 'T', 'R', 1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful decode must round-trip.
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			t.Fatalf("re-encode of decoded trace failed: %v", err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", tr.Len(), back.Len())
+		}
+	})
+}

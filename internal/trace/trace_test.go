@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"diskthru/internal/fslayout"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{Records: []Record{
+		{File: 0, Offset: 0, Blocks: 4},
+		{File: 1, Offset: 2, Blocks: 1, Write: true},
+		{File: 0, Offset: 0, Blocks: 4},
+	}}
+}
+
+func TestTraceSummaries(t *testing.T) {
+	tr := sampleTrace()
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.WriteFraction(); got < 0.33 || got > 0.34 {
+		t.Fatalf("WriteFraction = %v", got)
+	}
+	if tr.TotalBlocks() != 9 {
+		t.Fatalf("TotalBlocks = %d", tr.TotalBlocks())
+	}
+	empty := &Trace{}
+	if empty.WriteFraction() != 0 || empty.TotalBlocks() != 0 {
+		t.Fatal("empty trace non-zero")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("decoded %d records", back.Len())
+	}
+	for i := range tr.Records {
+		if back.Records[i] != tr.Records[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, back.Records[i], tr.Records[i])
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("nope"))); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	if err := Encode(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := Decode(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestDecodeRejectsAbsurdHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{'D', 'T', 'R', 1})
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	if _, err := Decode(&buf); err == nil {
+		t.Fatal("absurd record count accepted")
+	}
+}
+
+func TestEncodeRejectsInvalidRecord(t *testing.T) {
+	tr := &Trace{Records: []Record{{File: -1, Blocks: 1}}}
+	if err := Encode(&bytes.Buffer{}, tr); err == nil {
+		t.Fatal("invalid record encoded")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary valid traces.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := &Trace{}
+		for i, v := range raw {
+			tr.Records = append(tr.Records, Record{
+				File:   int32(v % 100),
+				Offset: int32(v % 7),
+				Blocks: int32(v%32) + 1,
+				Write:  i%3 == 0,
+			})
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			return false
+		}
+		back, err := Decode(&buf)
+		if err != nil || back.Len() != tr.Len() {
+			return false
+		}
+		for i := range tr.Records {
+			if back.Records[i] != tr.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockCounts(t *testing.T) {
+	l := fslayout.New(1000)
+	l.Alloc(4, 0, nil) // file 0: blocks 0..3
+	l.Alloc(4, 0, nil) // file 1: blocks 4..7
+	tr := &Trace{Records: []Record{
+		{File: 0, Offset: 0, Blocks: 4},
+		{File: 0, Offset: 1, Blocks: 2},
+		{File: 1, Offset: 3, Blocks: 4}, // truncated to 1 block
+		{File: 1, Offset: 9, Blocks: 1}, // past EOF, dropped
+	}}
+	c := tr.BlockCounts(l)
+	want := map[int64]int{0: 1, 1: 2, 2: 2, 3: 1, 7: 1}
+	for b, n := range want {
+		if c.Count(b) != n {
+			t.Errorf("count(%d) = %d, want %d", b, c.Count(b), n)
+		}
+	}
+	if c.Total() != 7 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+}
+
+func TestCoalesceAdjacent(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{File: 0, Offset: 0, Blocks: 2},
+		{File: 0, Offset: 2, Blocks: 2},              // merges
+		{File: 0, Offset: 4, Blocks: 1, Write: true}, // direction change
+		{File: 1, Offset: 0, Blocks: 1},
+		{File: 1, Offset: 2, Blocks: 1}, // gap, no merge
+	}}
+	out := CoalesceAdjacent(tr)
+	if out.Len() != 4 {
+		t.Fatalf("coalesced to %d records: %+v", out.Len(), out.Records)
+	}
+	if out.Records[0].Blocks != 4 {
+		t.Fatalf("first record = %+v", out.Records[0])
+	}
+	if empty := CoalesceAdjacent(&Trace{}); empty.Len() != 0 {
+		t.Fatal("empty coalesce non-empty")
+	}
+}

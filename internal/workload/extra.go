@@ -1,0 +1,267 @@
+package workload
+
+import (
+	"fmt"
+
+	"diskthru/internal/dist"
+	"diskthru/internal/fslayout"
+)
+
+// This file adds the remaining server classes the paper's introduction
+// motivates ("Web proxies, email and news servers, multimedia servers,
+// and database servers"): a mail server, a streaming-media server, and
+// an OLTP database. They exercise the same pipeline as the three
+// evaluated servers and bracket FOR's behavior — from the pure small-
+// random-access case (OLTP, maximum gain) to pure large-sequential
+// streaming (media, where FOR must merely not lose).
+
+// MailConfig synthesizes an mbox-style mail server: mailboxes that are
+// appended to (deliveries) and scanned (mail readers), with strong
+// recency skew.
+type MailConfig struct {
+	Requests      int
+	Mailboxes     int
+	MeanBoxKB     float64
+	MedianBoxKB   float64
+	ZipfAlpha     float64
+	AppendProb    float64 // delivery: write a few blocks at the tail
+	ScanProb      float64 // full-mailbox scan; otherwise read recent tail
+	BufferCacheMB int
+	Disturbances  int
+	FragProb      float64
+	Seed          int64
+}
+
+// DefaultMail returns the calibrated configuration at the given scale.
+func DefaultMail(scale float64) MailConfig {
+	return MailConfig{
+		Requests:      scaled(1200000, scale),
+		Mailboxes:     scaled(20000, scale),
+		MeanBoxKB:     256,
+		MedianBoxKB:   64,
+		ZipfAlpha:     0.9, // active users dominate
+		AppendProb:    0.45,
+		ScanProb:      0.15,
+		BufferCacheMB: scaled(384, scale),
+		Disturbances:  40,
+		FragProb:      0.05, // mailboxes fragment as they grow
+		Seed:          5,
+	}
+}
+
+// Mail builds the mail-server workload.
+func Mail(cfg MailConfig) (*Workload, error) {
+	if cfg.Requests <= 0 || cfg.Mailboxes <= 0 {
+		return nil, fmt.Errorf("workload: mail config %+v", cfg)
+	}
+	if cfg.AppendProb < 0 || cfg.ScanProb < 0 || cfg.AppendProb+cfg.ScanProb > 1 {
+		return nil, fmt.Errorf("workload: mail probabilities %v/%v", cfg.AppendProb, cfg.ScanProb)
+	}
+	rng := dist.NewRand(cfg.Seed)
+	sizes := dist.LogNormalFromMeanMedian(cfg.MeanBoxKB, cfg.MedianBoxKB)
+	layout, boxBlocks, err := allocSizedFiles(cfg.Mailboxes, cfg.FragProb, rng,
+		func() int { return kbToBlocks(sizes.Draw(rng)) })
+	if err != nil {
+		return nil, err
+	}
+	f := newFilter(layout, cacheBlocksMB(cfg.BufferCacheMB), disturbPeriod(cfg.Requests, cfg.Disturbances))
+	zipf := dist.NewZipf(cfg.Mailboxes, cfg.ZipfAlpha)
+	// appendAt tracks each mailbox's delivery cursor; deliveries wrap
+	// within the preallocated extent (an mbox being compacted).
+	appendAt := make([]int, cfg.Mailboxes)
+	for i := 0; i < cfg.Requests; i++ {
+		box := zipf.Rank(rng)
+		size := boxBlocks[box]
+		r := rng.Float64()
+		switch {
+		case r < cfg.AppendProb:
+			n := 1 + rng.Intn(3)
+			if n > size {
+				n = size
+			}
+			if appendAt[box]+n > size {
+				appendAt[box] = 0
+			}
+			f.access(box, appendAt[box], n, true)
+			appendAt[box] += n
+		case r < cfg.AppendProb+cfg.ScanProb:
+			f.access(box, 0, size, false) // full scan
+		default:
+			// Read the recent tail: the last few delivered blocks.
+			n := 1 + rng.Intn(4)
+			off := appendAt[box] - n
+			if off < 0 {
+				off = 0
+			}
+			f.access(box, off, n, false)
+		}
+	}
+	diskTrace, serverTrace := f.close()
+	return &Workload{
+		Name:          "mail",
+		Layout:        layout,
+		Trace:         diskTrace,
+		Server:        serverTrace,
+		Streams:       128,
+		AvgFileBlocks: 2,
+	}, nil
+}
+
+// MediaConfig synthesizes a streaming-media server: a modest number of
+// large files read strictly sequentially in chunk-sized requests by
+// concurrent viewers. Blind read-ahead is at its best here; FOR must
+// match it (the paper's "at least as high throughput" claim).
+type MediaConfig struct {
+	Streams       int // concurrent viewing sessions in the trace
+	FileMB        int // uniform media-file size
+	Files         int
+	ChunkKB       int // player read size
+	ZipfAlpha     float64
+	BufferCacheMB int
+	Seed          int64
+}
+
+// DefaultMedia returns the calibrated configuration at the given scale.
+func DefaultMedia(scale float64) MediaConfig {
+	return MediaConfig{
+		Streams:       scaled(400, scale),
+		FileMB:        64,
+		Files:         scaled(800, scale),
+		ChunkKB:       256,
+		ZipfAlpha:     0.8,
+		BufferCacheMB: scaled(384, scale),
+		Seed:          6,
+	}
+}
+
+// Media builds the streaming workload: each session reads one media
+// file front to back; sessions interleave in the trace exactly as
+// concurrent viewers would.
+func Media(cfg MediaConfig) (*Workload, error) {
+	if cfg.Streams <= 0 || cfg.Files <= 0 || cfg.FileMB <= 0 || cfg.ChunkKB < 4 {
+		return nil, fmt.Errorf("workload: media config %+v", cfg)
+	}
+	rng := dist.NewRand(cfg.Seed)
+	fileBlocks := cfg.FileMB << 20 / BlockSize
+	layout := fslayout.NewGrouped(DefaultVolumeBlocks, DefaultGroups)
+	for i := 0; i < cfg.Files; i++ {
+		if _, err := layout.Alloc(fileBlocks, 0, rng); err != nil {
+			return nil, err
+		}
+	}
+	f := newFilter(layout, cacheBlocksMB(cfg.BufferCacheMB), 0)
+	zipf := dist.NewZipf(cfg.Files, cfg.ZipfAlpha)
+	chunkBlocks := cfg.ChunkKB << 10 / BlockSize
+	// Interleave the sessions round-robin, one chunk per turn.
+	files := make([]int, cfg.Streams)
+	offsets := make([]int, cfg.Streams)
+	for i := range files {
+		files[i] = zipf.Rank(rng)
+	}
+	activeSessions := cfg.Streams
+	for activeSessions > 0 {
+		activeSessions = 0
+		for s := 0; s < cfg.Streams; s++ {
+			if offsets[s] >= fileBlocks {
+				continue
+			}
+			n := chunkBlocks
+			if offsets[s]+n > fileBlocks {
+				n = fileBlocks - offsets[s]
+			}
+			f.access(files[s], offsets[s], n, false)
+			offsets[s] += n
+			activeSessions++
+		}
+	}
+	diskTrace, serverTrace := f.close()
+	return &Workload{
+		Name:          "media",
+		Layout:        layout,
+		Trace:         diskTrace,
+		Server:        serverTrace,
+		Streams:       64,
+		AvgFileBlocks: fileBlocks,
+	}, nil
+}
+
+// OLTPConfig synthesizes a database server running short transactions:
+// single-page random reads and updates against a handful of huge table
+// and index files, with a log file receiving sequential appends.
+type OLTPConfig struct {
+	Transactions  int
+	Tables        int
+	TableMB       int
+	PagesPerTxn   int
+	WriteProb     float64 // per page touched
+	ZipfAlpha     float64
+	BufferCacheMB int
+	Disturbances  int
+	Seed          int64
+}
+
+// DefaultOLTP returns the calibrated configuration at the given scale.
+func DefaultOLTP(scale float64) OLTPConfig {
+	return OLTPConfig{
+		Transactions:  scaled(2000000, scale),
+		Tables:        8,
+		TableMB:       scaled(2048, scale),
+		PagesPerTxn:   4,
+		WriteProb:     0.3,
+		ZipfAlpha:     0.5,
+		BufferCacheMB: scaled(384, scale),
+		Disturbances:  40,
+		Seed:          7,
+	}
+}
+
+// OLTP builds the database workload.
+func OLTP(cfg OLTPConfig) (*Workload, error) {
+	if cfg.Transactions <= 0 || cfg.Tables <= 0 || cfg.TableMB <= 0 || cfg.PagesPerTxn <= 0 {
+		return nil, fmt.Errorf("workload: oltp config %+v", cfg)
+	}
+	rng := dist.NewRand(cfg.Seed)
+	tableBlocks := cfg.TableMB << 20 / BlockSize
+	layout := fslayout.NewGrouped(DefaultVolumeBlocks, DefaultGroups)
+	for i := 0; i < cfg.Tables; i++ {
+		if _, err := layout.Alloc(tableBlocks, 0, rng); err != nil {
+			return nil, err
+		}
+	}
+	logID, err := layout.Alloc(1<<28/BlockSize, 0, rng) // 256-MB redo log
+	if err != nil {
+		return nil, err
+	}
+	logBlocks := layout.FileSize(logID)
+	accesses := cfg.Transactions * cfg.PagesPerTxn
+	f := newFilter(layout, cacheBlocksMB(cfg.BufferCacheMB), disturbPeriod(accesses, cfg.Disturbances))
+	pageZipf := dist.NewZipf(tableBlocks, cfg.ZipfAlpha)
+	logAt := 0
+	for txn := 0; txn < cfg.Transactions; txn++ {
+		wrote := false
+		for p := 0; p < cfg.PagesPerTxn; p++ {
+			table := rng.Intn(cfg.Tables)
+			page := pageZipf.Rank(rng)
+			write := dist.Bernoulli(rng, cfg.WriteProb)
+			wrote = wrote || write
+			f.access(table, page, 1, write)
+		}
+		if wrote {
+			// Commit: sequential log append, bypassing page reuse.
+			if logAt >= logBlocks {
+				logAt = 0
+			}
+			f.access(logID, logAt, 1, true)
+			logAt++
+		}
+	}
+	diskTrace, serverTrace := f.close()
+	return &Workload{
+		Name:          "oltp",
+		Layout:        layout,
+		Trace:         diskTrace,
+		Server:        serverTrace,
+		Streams:       128,
+		AvgFileBlocks: 1,
+	}, nil
+}

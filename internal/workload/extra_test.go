@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestMailWorkloadShape(t *testing.T) {
+	w, err := Mail(DefaultMail(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "mail" || w.Streams != 128 {
+		t.Fatalf("meta = %+v", w)
+	}
+	// Deliveries plus log-style appends give mail a solid write share.
+	wf := w.Trace.WriteFraction()
+	if wf < 0.1 || wf > 0.8 {
+		t.Fatalf("write fraction = %v", wf)
+	}
+	for _, r := range w.Trace.Records {
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMailRejectsBadProbabilities(t *testing.T) {
+	cfg := DefaultMail(0.01)
+	cfg.AppendProb = 0.9
+	cfg.ScanProb = 0.5
+	if _, err := Mail(cfg); err == nil {
+		t.Fatal("append+scan > 1 accepted")
+	}
+	if _, err := Mail(MailConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestMediaWorkloadSequential(t *testing.T) {
+	cfg := DefaultMedia(0.01)
+	w, err := Media(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "media" {
+		t.Fatalf("Name = %q", w.Name)
+	}
+	if w.Trace.WriteFraction() != 0 {
+		t.Fatal("streaming workload has writes")
+	}
+	// Every session covers its file exactly once: total blocks equals
+	// sessions x file size (buffer cache may absorb shared leaders).
+	fileBlocks := cfg.FileMB << 20 / BlockSize
+	if got := w.Trace.TotalBlocks(); got > int64(cfg.Streams)*int64(fileBlocks) {
+		t.Fatalf("trace moves %d blocks for %d sessions of %d blocks", got, cfg.Streams, fileBlocks)
+	}
+	// Per-file accesses are strictly sequential.
+	lastOff := map[int32]int32{}
+	for _, r := range w.Trace.Records {
+		if prev, ok := lastOff[r.File]; ok && r.Offset < prev {
+			t.Fatalf("file %d read backwards: %d after %d", r.File, r.Offset, prev)
+		}
+		lastOff[r.File] = r.Offset
+	}
+}
+
+func TestMediaRejectsBadConfig(t *testing.T) {
+	if _, err := Media(MediaConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	cfg := DefaultMedia(0.01)
+	cfg.ChunkKB = 2
+	if _, err := Media(cfg); err == nil {
+		t.Fatal("sub-block chunk accepted")
+	}
+}
+
+func TestOLTPWorkloadShape(t *testing.T) {
+	cfg := DefaultOLTP(0.002)
+	w, err := OLTP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "oltp" || w.AvgFileBlocks != 1 {
+		t.Fatalf("meta = %+v", w)
+	}
+	// Tables + the log file.
+	if w.Layout.NumFiles() != cfg.Tables+1 {
+		t.Fatalf("files = %d", w.Layout.NumFiles())
+	}
+	// Random single-page traffic: mean record length stays small.
+	mean := float64(w.Trace.TotalBlocks()) / float64(w.Trace.Len())
+	if mean > 4 {
+		t.Fatalf("mean record = %v blocks, want small", mean)
+	}
+	wf := w.Trace.WriteFraction()
+	if wf < 0.1 || wf > 0.8 {
+		t.Fatalf("write fraction = %v", wf)
+	}
+}
+
+func TestOLTPRejectsBadConfig(t *testing.T) {
+	if _, err := OLTP(OLTPConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestExtraWorkloadsDeterministic(t *testing.T) {
+	a, err := Mail(DefaultMail(0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mail(DefaultMail(0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace.Len() != b.Trace.Len() {
+		t.Fatal("non-deterministic mail trace")
+	}
+	for i := range a.Trace.Records {
+		if a.Trace.Records[i] != b.Trace.Records[i] {
+			t.Fatal("mail records differ across builds")
+		}
+	}
+}

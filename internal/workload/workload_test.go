@@ -1,0 +1,310 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"diskthru/internal/trace"
+)
+
+func TestSyntheticDefaults(t *testing.T) {
+	cfg := DefaultSynthetic(16)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Requests != 10000 || cfg.ZipfAlpha != 0.4 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestSyntheticShape(t *testing.T) {
+	cfg := DefaultSynthetic(16)
+	cfg.Requests = 2000
+	cfg.FootprintMB = 64
+	w, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Trace.Len() != 2000 {
+		t.Fatalf("trace len = %d", w.Trace.Len())
+	}
+	if w.AvgFileBlocks != 4 {
+		t.Fatalf("AvgFileBlocks = %d, want 4 (16 KB)", w.AvgFileBlocks)
+	}
+	if w.Layout.NumFiles() != 64*1024/16 {
+		t.Fatalf("files = %d", w.Layout.NumFiles())
+	}
+	for _, r := range w.Trace.Records {
+		if r.Blocks != 4 || r.Offset != 0 {
+			t.Fatalf("record %+v not a whole-file access", r)
+		}
+		if int(r.File) >= w.Layout.NumFiles() {
+			t.Fatalf("record file %d out of range", r.File)
+		}
+	}
+	if w.Trace.WriteFraction() != 0 {
+		t.Fatal("default synthetic has writes")
+	}
+}
+
+func TestSyntheticWriteFraction(t *testing.T) {
+	cfg := DefaultSynthetic(16)
+	cfg.Requests = 5000
+	cfg.FootprintMB = 64
+	cfg.WriteFraction = 0.3
+	w, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Trace.WriteFraction(); math.Abs(got-0.3) > 0.03 {
+		t.Fatalf("write fraction = %v, want ~0.3", got)
+	}
+}
+
+func TestSyntheticZipfSkew(t *testing.T) {
+	counts := func(alpha float64) int {
+		cfg := DefaultSynthetic(16)
+		cfg.Requests = 5000
+		cfg.FootprintMB = 64
+		cfg.ZipfAlpha = alpha
+		w, err := Synthetic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := w.Trace.BlockCounts(w.Layout)
+		return c.TopN(1)[0].Count
+	}
+	if hot, uniform := counts(1.0), counts(0.0); hot <= uniform {
+		t.Fatalf("alpha=1 hottest block %d <= alpha=0 hottest %d", hot, uniform)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := DefaultSynthetic(8)
+	cfg.Requests = 500
+	cfg.FootprintMB = 16
+	a, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Synthetic(cfg)
+	for i := range a.Trace.Records {
+		if a.Trace.Records[i] != b.Trace.Records[i] {
+			t.Fatal("same seed, different trace")
+		}
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	bad := []func(*SyntheticConfig){
+		func(c *SyntheticConfig) { c.Requests = 0 },
+		func(c *SyntheticConfig) { c.FileKB = 0 },
+		func(c *SyntheticConfig) { c.ZipfAlpha = -1 },
+		func(c *SyntheticConfig) { c.WriteFraction = 2 },
+		func(c *SyntheticConfig) { c.FootprintMB = 0 },
+		func(c *SyntheticConfig) { c.FragProb = 1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultSynthetic(16)
+		mutate(&cfg)
+		if _, err := Synthetic(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+const testScale = 0.01
+
+func TestWebWorkloadStatistics(t *testing.T) {
+	w, err := Web(DefaultWeb(testScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "web" || w.Streams != 16 {
+		t.Fatalf("meta = %+v", w)
+	}
+	if w.Trace.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	// Disk-level writes stay small (paper: 2%).
+	if wf := w.Trace.WriteFraction(); wf > 0.10 {
+		t.Fatalf("disk write fraction = %v, want small", wf)
+	}
+	// Mean file size ~21.5 KB -> ~5-6 blocks.
+	var total, n float64
+	for id := 0; id < w.Layout.NumFiles(); id++ {
+		total += float64(w.Layout.FileSize(id))
+		n++
+	}
+	meanKB := total / n * BlockSize / 1024
+	if meanKB < 15 || meanKB > 30 {
+		t.Fatalf("mean file = %.1f KB, want ~21.5", meanKB)
+	}
+	// The buffer cache must filter a noticeable share of accesses: the
+	// trace must reference far fewer blocks than requests x file size.
+	if w.Trace.TotalBlocks() <= 0 {
+		t.Fatal("no blocks")
+	}
+}
+
+func TestWebPopularitySkewSurvivesCache(t *testing.T) {
+	w, err := Web(DefaultWeb(testScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := w.Trace.BlockCounts(w.Layout)
+	top := counts.TopN(1)[0].Count
+	if top < 3 {
+		t.Fatalf("hottest disk block accessed %d times; residual skew lost", top)
+	}
+	// But the buffer cache must have absorbed the extreme head: the
+	// hottest block is accessed far fewer times than the hottest file.
+	if uint64(top)*20 > counts.Total() {
+		t.Fatalf("hottest block %d of %d accesses; cache filtered nothing", top, counts.Total())
+	}
+}
+
+func TestProxyWorkloadStatistics(t *testing.T) {
+	w, err := Proxy(DefaultProxy(testScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "proxy" || w.Streams != 128 {
+		t.Fatalf("meta = %+v", w)
+	}
+	// Proxy misses store objects: a solid write share (paper: 19%).
+	wf := w.Trace.WriteFraction()
+	if wf < 0.08 || wf > 0.6 {
+		t.Fatalf("disk write fraction = %v, want substantial", wf)
+	}
+	// Larger footprint per request than web: object mean ~8.3 KB.
+	var total float64
+	for id := 0; id < w.Layout.NumFiles(); id++ {
+		total += float64(w.Layout.FileSize(id))
+	}
+	meanKB := total / float64(w.Layout.NumFiles()) * BlockSize / 1024
+	if meanKB < 4 || meanKB > 16 {
+		t.Fatalf("mean object = %.1f KB, want ~8.3", meanKB)
+	}
+}
+
+func TestProxyWarmStoreAndMissMix(t *testing.T) {
+	cfg := DefaultProxy(testScale)
+	w, err := Proxy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The store is warm: every URL has an object on disk.
+	if w.Layout.NumFiles() != cfg.URLs {
+		t.Fatalf("store holds %d objects for %d URLs", w.Layout.NumFiles(), cfg.URLs)
+	}
+	// The paper's miss rate (43%) decomposes into stores + revalidations.
+	if miss := cfg.StoreProb + cfg.RevalProb; miss < 0.35 || miss > 0.5 {
+		t.Fatalf("modeled miss rate = %v, paper reports 0.43", miss)
+	}
+	// Disk-level writes land near the paper's 19%.
+	if wf := w.Trace.WriteFraction(); wf < 0.08 || wf > 0.35 {
+		t.Fatalf("disk write fraction = %v, paper reports 0.19", wf)
+	}
+}
+
+func TestProxyRejectsBadMix(t *testing.T) {
+	cfg := DefaultProxy(testScale)
+	cfg.StoreProb = 0.8
+	cfg.RevalProb = 0.5
+	if _, err := Proxy(cfg); err == nil {
+		t.Fatal("store+reval > 1 accepted")
+	}
+}
+
+func TestFileServerWorkloadStatistics(t *testing.T) {
+	w, err := FileServer(DefaultFileServer(0.002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "file" || w.Streams != 128 {
+		t.Fatalf("meta = %+v", w)
+	}
+	// Buffer cache merges 34% request-level writes down; disk level must
+	// land below the request level.
+	wf := w.Trace.WriteFraction()
+	if wf <= 0.02 || wf >= 0.34 {
+		t.Fatalf("disk write fraction = %v, want in (0.02, 0.34)", wf)
+	}
+	// Accesses are partial: mean record length stays small.
+	mean := float64(w.Trace.TotalBlocks()) / float64(w.Trace.Len())
+	if mean > 8 {
+		t.Fatalf("mean disk access = %v blocks, want small partial accesses", mean)
+	}
+}
+
+func TestServerTracesNonEmptyAndValid(t *testing.T) {
+	builds := []func() (*Workload, error){
+		func() (*Workload, error) { return Web(DefaultWeb(testScale)) },
+		func() (*Workload, error) { return Proxy(DefaultProxy(testScale)) },
+		func() (*Workload, error) { return FileServer(DefaultFileServer(0.002)) },
+	}
+	for _, build := range builds {
+		w, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range w.Trace.Records {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			if int(r.File) >= w.Layout.NumFiles() {
+				t.Fatalf("%s: record references file %d of %d", w.Name, r.File, w.Layout.NumFiles())
+			}
+		}
+	}
+}
+
+func TestScaledHelper(t *testing.T) {
+	if scaled(100, 0.5) != 50 || scaled(1, 0.001) != 1 {
+		t.Fatal("scaled wrong")
+	}
+	if kbToBlocks(0.5) != 1 || kbToBlocks(16) != 4 {
+		t.Fatal("kbToBlocks wrong")
+	}
+}
+
+func TestBadServerConfigsRejected(t *testing.T) {
+	if _, err := Web(WebConfig{}); err == nil {
+		t.Error("empty web config accepted")
+	}
+	if _, err := Proxy(ProxyConfig{}); err == nil {
+		t.Error("empty proxy config accepted")
+	}
+	if _, err := FileServer(FileServerConfig{}); err == nil {
+		t.Error("empty file-server config accepted")
+	}
+}
+
+// The residual (post-cache) popularity should be flatter than the
+// server-level popularity — the effect Figure 2 plots (alpha ~ 0.43
+// residual from ~0.75 server-level skew).
+func TestResidualSkewFlatterThanServerLevel(t *testing.T) {
+	cfg := DefaultWeb(testScale)
+	w, err := Web(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := w.Trace.BlockCounts(w.Layout)
+	ranked := counts.Ranked()
+	if len(ranked) < 100 {
+		t.Skip("trace too small")
+	}
+	// Top-1% share of disk accesses must be well under the top-1% share
+	// a 0.75-zipf over files would give at server level.
+	topShare := 0.0
+	cut := len(ranked) / 100
+	for _, bc := range ranked[:cut] {
+		topShare += float64(bc.Count)
+	}
+	topShare /= float64(counts.Total())
+	if topShare > 0.5 {
+		t.Fatalf("top-1%% of blocks take %v of disk accesses; cache filtered nothing", topShare)
+	}
+	_ = trace.Record{}
+}

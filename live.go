@@ -1,0 +1,103 @@
+package diskthru
+
+import (
+	"fmt"
+
+	"diskthru/internal/host"
+	"diskthru/internal/trace"
+	"diskthru/internal/workload"
+)
+
+// LiveOptions configures RunLive, the server-level replay mode with the
+// host buffer cache simulated inside the run.
+type LiveOptions struct {
+	// BufferCacheMB is the host buffer cache size (default 384, the
+	// paper's server's usable memory).
+	BufferCacheMB int
+	// VictimHDC manages each controller's HDC region (Config.HDCKB) as
+	// an array-wide FIFO victim cache of clean buffer-cache evictions —
+	// the alternative HDC use the paper sketches in section 5. Without
+	// it, a non-zero HDCKB pins the top-miss blocks as in Run.
+	VictimHDC bool
+}
+
+// LiveResult extends Result with the host-side cache measurements only
+// the live mode can observe.
+type LiveResult struct {
+	Result
+	// ServerAccesses is the number of server-level records replayed.
+	ServerAccesses uint64
+	// Absorbed counts records served entirely from the buffer cache.
+	Absorbed uint64
+	// BufferCacheHitRate is the host cache's block hit rate.
+	BufferCacheHitRate float64
+	// VictimInserts counts blocks shipped to controller victim regions.
+	VictimInserts uint64
+}
+
+// RunLive replays the workload's server-level access stream (rather
+// than its pre-filtered disk-level trace) with a live buffer cache, so
+// host-managed HDC policies can react to cache events. Mirroring is not
+// supported in this mode.
+func RunLive(w *Workload, cfg Config, opts LiveOptions) (LiveResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return LiveResult{}, err
+	}
+	if cfg.Mirrored || cfg.CoopHDC {
+		return LiveResult{}, fmt.Errorf("diskthru: live mode does not support mirroring")
+	}
+	if w.inner.Server == nil {
+		return LiveResult{}, fmt.Errorf("diskthru: workload %q carries no server-level trace", w.Name())
+	}
+	cacheMB := opts.BufferCacheMB
+	if cacheMB <= 0 {
+		cacheMB = 384
+	}
+
+	r, err := buildRig(w, cfg)
+	if err != nil {
+		return LiveResult{}, err
+	}
+	// Static HDC plan (top-miss blocks) unless the victim policy manages
+	// the region dynamically.
+	if cfg.HDCKB > 0 && !opts.VictimHDC {
+		perDisk := cfg.HDCKB << 10 / r.geom.BlockSize
+		plan := host.PlanHDC(planningTrace(w.inner.Trace, cfg), w.inner.Layout, r.striper, perDisk)
+		for i, d := range r.disks {
+			d.PinBlocks(plan[i])
+		}
+	}
+
+	streams := cfg.Streams
+	if streams <= 0 {
+		streams = w.inner.Streams
+	}
+	l, err := host.NewLive(r.sim, r.bus, r.disks, r.striper, w.inner.Layout, host.LiveConfig{
+		Streams:      streams,
+		CoalesceProb: cfg.CoalesceProb,
+		Seed:         cfg.Seed,
+		CacheBlocks:  cacheMB << 20 / workload.BlockSize,
+		Victim:       opts.VictimHDC,
+	})
+	if err != nil {
+		return LiveResult{}, err
+	}
+	end := l.Replay(w.inner.Server)
+	res := collectResult(end, r, l.IssuedRequests)
+	return LiveResult{
+		Result:             res,
+		ServerAccesses:     uint64(w.inner.Server.Len()),
+		Absorbed:           l.Absorbed,
+		BufferCacheHitRate: l.CacheHitRate(),
+		VictimInserts:      l.VictimInserts,
+	}, nil
+}
+
+// planningTrace applies the planner selection to the disk-level trace.
+func planningTrace(t *trace.Trace, cfg Config) *trace.Trace {
+	if cfg.Planner == PlannerHistory {
+		half := len(t.Records) / 2
+		return &trace.Trace{Records: t.Records[:half]}
+	}
+	return t
+}

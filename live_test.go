@@ -1,0 +1,126 @@
+package diskthru
+
+import "testing"
+
+func liveFixture(t *testing.T) *Workload {
+	t.Helper()
+	w, err := WebWorkload(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRunLiveBasics(t *testing.T) {
+	w := liveFixture(t)
+	cfg := DefaultConfig()
+	cfg.StripeKB = 16
+	r, err := RunLive(w, cfg, LiveOptions{BufferCacheMB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IOTime <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if r.ServerAccesses == 0 {
+		t.Fatal("no server accesses recorded")
+	}
+	if r.BufferCacheHitRate <= 0 || r.BufferCacheHitRate >= 1 {
+		t.Fatalf("buffer cache hit rate = %v", r.BufferCacheHitRate)
+	}
+	if r.Absorbed == 0 {
+		t.Fatal("no record was fully absorbed by the cache")
+	}
+	if r.VictimInserts != 0 {
+		t.Fatal("victim inserts without the victim policy")
+	}
+}
+
+func TestRunLiveBiggerCacheAbsorbsMore(t *testing.T) {
+	w := liveFixture(t)
+	cfg := DefaultConfig()
+	run := func(mb int) LiveResult {
+		r, err := RunLive(w, cfg, LiveOptions{BufferCacheMB: mb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	small, big := run(2), run(64)
+	if big.BufferCacheHitRate <= small.BufferCacheHitRate {
+		t.Fatalf("bigger cache hit rate %v not above %v",
+			big.BufferCacheHitRate, small.BufferCacheHitRate)
+	}
+	if big.IOTime >= small.IOTime {
+		t.Fatalf("bigger cache not faster: %v vs %v", big.IOTime, small.IOTime)
+	}
+}
+
+func TestRunLiveVictimPolicy(t *testing.T) {
+	w := liveFixture(t)
+	cfg := DefaultConfig().WithHDC(256)
+	cfg.StripeKB = 16
+	static, err := RunLive(w, cfg, LiveOptions{BufferCacheMB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := RunLive(w, cfg, LiveOptions{BufferCacheMB: 4, VictimHDC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim.VictimInserts == 0 {
+		t.Fatal("victim policy inserted nothing")
+	}
+	if victim.HDCHitRate <= 0 {
+		t.Fatal("victim region never hit")
+	}
+	// The victim cache adapts to the live eviction stream; it should at
+	// least be competitive with the static plan.
+	if victim.IOTime > static.IOTime*1.1 {
+		t.Fatalf("victim policy much slower than static: %v vs %v",
+			victim.IOTime, static.IOTime)
+	}
+}
+
+func TestRunLiveRejectsMirroring(t *testing.T) {
+	w := liveFixture(t)
+	cfg := DefaultConfig()
+	cfg.Mirrored = true
+	if _, err := RunLive(w, cfg, LiveOptions{}); err == nil {
+		t.Fatal("live mode accepted mirroring")
+	}
+}
+
+func TestRunLiveDeterministic(t *testing.T) {
+	w := liveFixture(t)
+	cfg := DefaultConfig().WithHDC(128)
+	opts := LiveOptions{BufferCacheMB: 4, VictimHDC: true}
+	a, err := RunLive(w, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLive(w, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IOTime != b.IOTime || a.VictimInserts != b.VictimInserts {
+		t.Fatalf("non-deterministic live replay: %+v vs %+v", a.Result.IOTime, b.Result.IOTime)
+	}
+}
+
+func TestRunLiveFORWorksToo(t *testing.T) {
+	w := liveFixture(t)
+	cfg := DefaultConfig()
+	cfg.StripeKB = 16
+	segm, err := RunLive(w, cfg, LiveOptions{BufferCacheMB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forr, err := RunLive(w, cfg.WithSystem(FOR), LiveOptions{BufferCacheMB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forr.IOTime >= segm.IOTime {
+		t.Fatalf("FOR (%v) not faster than Segm (%v) in live mode", forr.IOTime, segm.IOTime)
+	}
+}

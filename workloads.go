@@ -1,0 +1,170 @@
+package diskthru
+
+import (
+	"io"
+
+	"diskthru/internal/trace"
+	"diskthru/internal/workload"
+)
+
+// Workload is an opaque handle on a file-system layout plus the
+// disk-level trace to replay against it.
+type Workload struct {
+	inner *workload.Workload
+}
+
+// Name reports the workload's label ("web", "proxy", "file",
+// "synthetic-16KB", ...).
+func (w *Workload) Name() string { return w.inner.Name }
+
+// Records reports the disk-level trace length.
+func (w *Workload) Records() int { return w.inner.Trace.Len() }
+
+// WriteFraction reports the fraction of trace records that are writes.
+func (w *Workload) WriteFraction() float64 { return w.inner.Trace.WriteFraction() }
+
+// Streams reports the paper's stream count for this server type.
+func (w *Workload) Streams() int { return w.inner.Streams }
+
+// Files reports how many files the layout holds.
+func (w *Workload) Files() int { return w.inner.Layout.NumFiles() }
+
+// FootprintBlocks reports the allocated volume extent in 4-KB blocks.
+func (w *Workload) FootprintBlocks() int64 { return w.inner.Layout.UsedBlocks() }
+
+// AvgFileBlocks reports the mean requested size in blocks.
+func (w *Workload) AvgFileBlocks() int { return w.inner.AvgFileBlocks }
+
+// EncodeTrace writes the disk-level trace in the binary trace format.
+func (w *Workload) EncodeTrace(dst io.Writer) error {
+	return trace.Encode(dst, w.inner.Trace)
+}
+
+// BlockAccessCounts returns the access count of the n most-accessed
+// logical blocks, most popular first — the data behind Figure 2.
+func (w *Workload) BlockAccessCounts(n int) []int {
+	top := w.inner.Trace.BlockCounts(w.inner.Layout).TopN(n)
+	out := make([]int, len(top))
+	for i, bc := range top {
+		out[i] = bc.Count
+	}
+	return out
+}
+
+// SyntheticOptions configures the section 6.2 synthetic workload.
+type SyntheticOptions struct {
+	// Requests is the trace length (paper: 10 000).
+	Requests int
+	// FileKB is the uniform file size (paper sweeps 4-128 KB).
+	FileKB int
+	// ZipfAlpha is the popularity skew (paper default 0.4).
+	ZipfAlpha float64
+	// WriteFraction is the probability a request is a write.
+	WriteFraction float64
+	// FootprintMB sets the data-set size (default 1024).
+	FootprintMB int
+	// FragProb is the per-junction fragmentation probability.
+	FragProb float64
+	// Seed makes generation deterministic (default 1).
+	Seed int64
+	// VolumeBlocks overrides the logical-volume size (default: the full
+	// 8-disk array); required for arrays with less usable capacity
+	// (fewer disks, mirroring).
+	VolumeBlocks int64
+}
+
+// SyntheticWorkload builds the paper's controlled synthetic trace.
+// Zero-valued options other than FileKB take the paper's defaults.
+func SyntheticWorkload(opts SyntheticOptions) (*Workload, error) {
+	cfg := workload.DefaultSynthetic(opts.FileKB)
+	if opts.Requests > 0 {
+		cfg.Requests = opts.Requests
+	}
+	if opts.ZipfAlpha > 0 {
+		cfg.ZipfAlpha = opts.ZipfAlpha
+	}
+	if opts.WriteFraction > 0 {
+		cfg.WriteFraction = opts.WriteFraction
+	}
+	if opts.FootprintMB > 0 {
+		cfg.FootprintMB = opts.FootprintMB
+	}
+	if opts.FragProb > 0 {
+		cfg.FragProb = opts.FragProb
+	}
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	if opts.VolumeBlocks > 0 {
+		cfg.VolumeBlocks = opts.VolumeBlocks
+	}
+	w, err := workload.Synthetic(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{inner: w}, nil
+}
+
+// WebWorkload synthesizes the Rutgers Web-server workload at the given
+// scale (1.0 = the paper's 1.7 M requests over 70 K files).
+func WebWorkload(scale float64) (*Workload, error) {
+	w, err := workload.Web(workload.DefaultWeb(scale))
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{inner: w}, nil
+}
+
+// ProxyWorkload synthesizes the AT&T Hummingbird proxy workload at the
+// given scale (1.0 = 750 K requests over 440 K URLs).
+func ProxyWorkload(scale float64) (*Workload, error) {
+	w, err := workload.Proxy(workload.DefaultProxy(scale))
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{inner: w}, nil
+}
+
+// FileServerWorkload synthesizes the HP Labs file-server workload at the
+// given scale (1.0 = 9.5 M requests over 30 K files, 16 GB footprint).
+func FileServerWorkload(scale float64) (*Workload, error) {
+	w, err := workload.FileServer(workload.DefaultFileServer(scale))
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{inner: w}, nil
+}
+
+// MailWorkload synthesizes an mbox-style mail-server workload at the
+// given scale: mailbox deliveries (appends), tail reads, and full
+// scans, with strong active-user skew. One of the server classes the
+// paper's introduction motivates but does not trace.
+func MailWorkload(scale float64) (*Workload, error) {
+	w, err := workload.Mail(workload.DefaultMail(scale))
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{inner: w}, nil
+}
+
+// MediaWorkload synthesizes a streaming-media server: concurrent
+// sessions reading large files strictly sequentially — blind
+// read-ahead's best case, where FOR must merely not lose.
+func MediaWorkload(scale float64) (*Workload, error) {
+	w, err := workload.Media(workload.DefaultMedia(scale))
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{inner: w}, nil
+}
+
+// OLTPWorkload synthesizes a transaction-processing database: random
+// single-page reads/updates over huge tables plus sequential log
+// appends — read-ahead's worst case and FOR's best.
+func OLTPWorkload(scale float64) (*Workload, error) {
+	w, err := workload.OLTP(workload.DefaultOLTP(scale))
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{inner: w}, nil
+}

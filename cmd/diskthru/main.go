@@ -9,15 +9,24 @@
 //	diskthru -list                     # available experiment names
 //	diskthru -all -quick               # reduced scales, fast
 //	diskthru -experiment fig7 -web-scale 0.25
+//
+// Telemetry (see the Observability section of DESIGN.md):
+//
+//	diskthru -experiment fig3 -quick -trace t.jsonl -metrics m.csv
+//	diskthru -experiment fig4 -metrics m.csv -sample-interval 0.5
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"diskthru"
 	"diskthru/internal/experiments"
+	"diskthru/internal/probe"
 )
 
 func main() {
@@ -33,8 +42,21 @@ func main() {
 		seed      = flag.Int64("seed", 0, "seed offset for replication runs")
 		timing    = flag.Bool("time", false, "print wall-clock time per experiment")
 		format    = flag.String("format", "text", "output format: text | csv")
+		tracePath = flag.String("trace", "", "write a per-request lifecycle trace (JSONL) to this file")
+		metrPath  = flag.String("metrics", "", "write per-interval time-series metrics (CSV) to this file")
+		sampleInt = flag.Float64("sample-interval", probe.DefaultSampleInterval,
+			"metrics sampling period in virtual seconds")
 	)
 	flag.Parse()
+
+	if *tracePath != "" || *metrPath != "" {
+		closeTelemetry, err := installTelemetry(*tracePath, *metrPath, *sampleInt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "diskthru: %v\n", err)
+			os.Exit(1)
+		}
+		defer closeTelemetry()
+	}
 
 	if *list {
 		for _, n := range experiments.Names() {
@@ -94,4 +116,41 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// installTelemetry opens the requested export files and installs the
+// process-wide telemetry default that every simulation run picks up.
+// The returned function flushes and closes the files.
+func installTelemetry(tracePath, metricsPath string, sampleInterval float64) (func(), error) {
+	var closers []func() error
+	open := func(path string) (io.Writer, error) {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		bw := bufio.NewWriterSize(f, 1<<20)
+		closers = append(closers, bw.Flush, f.Close)
+		return bw, nil
+	}
+	var traceW, metricsW io.Writer
+	var err error
+	if tracePath != "" {
+		if traceW, err = open(tracePath); err != nil {
+			return nil, err
+		}
+	}
+	if metricsPath != "" {
+		if metricsW, err = open(metricsPath); err != nil {
+			return nil, err
+		}
+	}
+	diskthru.SetDefaultTelemetry(probe.NewTelemetry(traceW, metricsW, sampleInterval))
+	return func() {
+		diskthru.SetDefaultTelemetry(nil)
+		for _, c := range closers {
+			if err := c(); err != nil {
+				fmt.Fprintf(os.Stderr, "diskthru: telemetry flush: %v\n", err)
+			}
+		}
+	}, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"diskthru/internal/cache"
 	"diskthru/internal/disk"
+	"diskthru/internal/probe"
 	"diskthru/internal/sched"
 )
 
@@ -160,6 +161,12 @@ type Config struct {
 	// so transfer rates depend on layout position. Off by default; the
 	// paper's model is uniform.
 	ZonedGeometry bool
+	// Telemetry, when non-nil, records this run's request trace and
+	// time-series metrics (see internal/probe). It is a pure observer:
+	// every simulation result is bit-identical with it on or off. When
+	// nil, the process-wide default installed by SetDefaultTelemetry
+	// applies (nil again means telemetry off, the default).
+	Telemetry *probe.Telemetry
 }
 
 // DefaultConfig returns the paper's Table 1 configuration with the Segm
@@ -224,6 +231,15 @@ func (c Config) Validate() error {
 
 // WithSystem returns a copy running the given system.
 func (c Config) WithSystem(s System) Config { c.System = s; return c }
+
+// telemetry resolves the effective telemetry coordinator for a run:
+// the config's own, else the process default, else nil (off).
+func (c Config) telemetry() *probe.Telemetry {
+	if c.Telemetry != nil {
+		return c.Telemetry
+	}
+	return defaultTelemetry
+}
 
 // WithHDC returns a copy with the given per-controller HDC size in KB.
 func (c Config) WithHDC(kb int) Config { c.HDCKB = kb; return c }

@@ -30,9 +30,22 @@ import (
 	"diskthru/internal/fslayout"
 	"diskthru/internal/geom"
 	"diskthru/internal/host"
+	"diskthru/internal/probe"
 	"diskthru/internal/sim"
+	"diskthru/internal/stats"
 	"diskthru/internal/workload"
 )
+
+// defaultTelemetry receives the telemetry of runs whose Config carries
+// none. cmd/diskthru sets it from the -trace/-metrics flags so the
+// experiment drivers observe their runs without any per-driver plumbing.
+var defaultTelemetry *probe.Telemetry
+
+// SetDefaultTelemetry installs (or, with nil, removes) the process-wide
+// telemetry fallback. Telemetry is a pure observer: enabling it never
+// changes any simulation result. Not safe to call concurrently with
+// running simulations.
+func SetDefaultTelemetry(t *probe.Telemetry) { defaultTelemetry = t }
 
 // DiskStats is one drive's view of a finished run.
 type DiskStats struct {
@@ -80,29 +93,32 @@ type LatencySummary struct {
 	Max                 float64
 }
 
-// summarizeLatencies sorts and summarizes response times.
+// summarizeLatencies summarizes response times: mean/max exactly via
+// stats.Summary, percentiles via a stats.Histogram over [0, max] — fixed
+// memory regardless of run length, at a resolution of max/4096.
 func summarizeLatencies(v []float64) LatencySummary {
 	if len(v) == 0 {
 		return LatencySummary{}
 	}
-	sorted := make([]float64, len(v))
-	copy(sorted, v)
-	sort.Float64s(sorted)
-	var sum float64
-	for _, x := range sorted {
-		sum += x
+	var sum stats.Summary
+	for _, x := range v {
+		sum.Observe(x)
 	}
-	q := func(p float64) float64 {
-		i := int(p * float64(len(sorted)-1))
-		return sorted[i]
+	hi := sum.Max()
+	if hi <= 0 {
+		hi = 1e-12 // all-zero latencies still need a non-empty range
+	}
+	h := stats.NewHistogram(0, hi*(1+1e-9), 4096)
+	for _, x := range v {
+		h.Observe(x)
 	}
 	return LatencySummary{
-		N:    len(sorted),
-		Mean: sum / float64(len(sorted)),
-		P50:  q(0.50),
-		P95:  q(0.95),
-		P99:  q(0.99),
-		Max:  sorted[len(sorted)-1],
+		N:    sum.N(),
+		Mean: sum.Mean(),
+		P50:  h.Quantile(0.50),
+		P95:  h.Quantile(0.95),
+		P99:  h.Quantile(0.99),
+		Max:  sum.Max(),
 	}
 }
 
@@ -138,9 +154,19 @@ type rig struct {
 	logical  int
 }
 
+// diskProbes adapts the drives to the sampler's interface.
+func (r *rig) diskProbes() []probe.DiskProbe {
+	out := make([]probe.DiskProbe, len(r.disks))
+	for i, d := range r.disks {
+		out[i] = d
+	}
+	return out
+}
+
 // buildRig assembles the simulated array for a workload: geometry,
-// capacity check, FOR bitmaps, and one drive per physical disk.
-func buildRig(w *Workload, cfg Config) (*rig, error) {
+// capacity check, FOR bitmaps, and one drive per physical disk. tracer
+// (nil = tracing off) is shared by every drive; records carry disk ids.
+func buildRig(w *Workload, cfg Config, tracer probe.Tracer) (*rig, error) {
 	inner := w.inner
 	g := geom.Ultrastar36Z15()
 	if cfg.ZonedGeometry {
@@ -170,6 +196,7 @@ func buildRig(w *Workload, cfg Config) (*rig, error) {
 	for i := range disks {
 		dc := cfg.diskConfig()
 		dc.Geom = g
+		dc.Tracer = tracer
 		if bitmaps != nil {
 			dc.Bitmap = bitmaps[i/replicas] // replicas share the layout
 		}
@@ -188,14 +215,21 @@ func buildRig(w *Workload, cfg Config) (*rig, error) {
 // collectResult snapshots the rig's counters into a Result.
 func collectResult(end float64, r *rig, requests uint64) Result {
 	agg := host.Collect(r.disks)
+	// Normalize bus load by the makespan, not sim.Now(): idle events past
+	// the last completion (telemetry sampling ticks, background syncs)
+	// must not dilute utilization.
+	busUtil := 0.0
+	if end > 0 {
+		busUtil = r.bus.BusySeconds() / end
+	}
 	res := Result{
 		IOTime:         end,
 		HitRate:        agg.HitRate(),
 		HDCHitRate:     agg.HDCHitRate(),
 		MediaBlocks:    agg.MediaBlocks(),
 		Requests:       requests,
-		BusSeconds:     r.bus.Utilization() * end,
-		BusUtilization: r.bus.Utilization(),
+		BusSeconds:     r.bus.BusySeconds(),
+		BusUtilization: busUtil,
 		PerDisk:        make([]DiskStats, len(r.disks)),
 	}
 	for i, st := range agg.PerDisk {
@@ -222,7 +256,8 @@ func Run(w *Workload, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	inner := w.inner
-	r, err := buildRig(w, cfg)
+	scope := cfg.telemetry().StartRun(fmt.Sprintf("%s-%s", w.Name(), cfg.System))
+	r, err := buildRig(w, cfg, scope.Tracer())
 	if err != nil {
 		return Result{}, err
 	}
@@ -274,10 +309,18 @@ func Run(w *Workload, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	scope.StartSampler(r.sim, r.diskProbes(), probe.SamplerSources{
+		BusUtil: r.bus.Utilization,
+		Issued:  h.Issued,
+		Active:  h.Active,
+	})
 
 	end := h.Replay(inner.Trace)
 	res := collectResult(end, r, h.IssuedRequests)
 	res.Latency = summarizeLatencies(h.Latencies)
+	if err := scope.Finish(); err != nil {
+		return res, fmt.Errorf("diskthru: telemetry: %w", err)
+	}
 	return res, nil
 }
 

@@ -49,6 +49,21 @@ func (c *Cache) Misses() uint64 { return c.misses }
 // request-level writes into 20% disk-level writes.
 func (c *Cache) AbsorbedWrites() uint64 { return c.absorbedWrites }
 
+// Counters is a point-in-time snapshot of the cache's activity, taken by
+// the telemetry sampler during live replays.
+type Counters struct {
+	Hits, Misses, AbsorbedWrites uint64
+	Len, Capacity                int
+}
+
+// Counters snapshots the cache's counters and occupancy.
+func (c *Cache) Counters() Counters {
+	return Counters{
+		Hits: c.hits, Misses: c.misses, AbsorbedWrites: c.absorbedWrites,
+		Len: len(c.index), Capacity: c.capacity,
+	}
+}
+
 // Eviction describes a block displaced by an Access.
 type Eviction struct {
 	Block int64

@@ -151,3 +151,17 @@ func TestPropertyNoSpuriousEvictions(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCountersSnapshot(t *testing.T) {
+	c := New(4)
+	c.Access(1, false) // miss
+	c.Access(1, false) // hit
+	c.Access(1, true)  // absorbed write on resident block
+	got := c.Counters()
+	if got.Misses != 1 || got.Hits != 2 || got.AbsorbedWrites != 1 {
+		t.Fatalf("counters = %+v", got)
+	}
+	if got.Len != 1 || got.Capacity != 4 {
+		t.Fatalf("counters = %+v", got)
+	}
+}

@@ -55,5 +55,11 @@ func (b *Bus) Transfer(bytes int, done sim.Event) {
 // Utilization reports the fraction of virtual time the bus has been busy.
 func (b *Bus) Utilization() float64 { return b.res.Utilization() }
 
+// BusySeconds reports the total virtual time spent transferring. Unlike
+// Utilization it does not depend on the current clock, so reports built
+// from it are unaffected by idle events (telemetry sampling ticks,
+// background syncs) that run after the workload's last completion.
+func (b *Bus) BusySeconds() float64 { return b.res.Busy }
+
 // Transfers reports completed transfer count.
 func (b *Bus) Transfers() uint64 { return b.res.Served }

@@ -32,6 +32,18 @@ type Store interface {
 	Name() string
 }
 
+// Snapshot is a point-in-time occupancy reading of a Store, taken by the
+// telemetry sampler.
+type Snapshot struct {
+	Len, Capacity int
+	Evictions     uint64
+}
+
+// Snap reads a store's occupancy counters.
+func Snap(s Store) Snapshot {
+	return Snapshot{Len: s.Len(), Capacity: s.Capacity(), Evictions: s.Evictions()}
+}
+
 // ---- Segment store ---------------------------------------------------------
 
 type segment struct {

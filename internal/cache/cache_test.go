@@ -411,3 +411,17 @@ func TestPropertyHDCInvariants(t *testing.T) {
 }
 
 var _ = []Store{(*SegmentStore)(nil), (*BlockStore)(nil)}
+
+func TestSnapReflectsStoreState(t *testing.T) {
+	s := NewBlockStore(4, EvictLRU)
+	if got := Snap(s); got != (Snapshot{Len: 0, Capacity: 4}) {
+		t.Fatalf("empty snapshot = %+v", got)
+	}
+	for b := int64(0); b < 6; b++ {
+		s.Insert(b, 1)
+	}
+	got := Snap(s)
+	if got.Len != 4 || got.Capacity != 4 || got.Evictions != 2 {
+		t.Fatalf("snapshot = %+v", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"diskthru/internal/cache"
 	"diskthru/internal/fslayout"
 	"diskthru/internal/geom"
+	"diskthru/internal/probe"
 	"diskthru/internal/sched"
 	"diskthru/internal/sim"
 )
@@ -81,6 +82,11 @@ type Config struct {
 	// small operations slower than one large one even when the data
 	// streams sequentially.
 	CommandOverhead float64
+	// Tracer receives per-request lifecycle callbacks. nil (the default)
+	// disables tracing entirely: the hot path then pays one nil check
+	// per stage and the drive behaves exactly as before the telemetry
+	// layer existed.
+	Tracer probe.Tracer
 }
 
 // Validate reports configuration errors.
@@ -177,6 +183,10 @@ type Request struct {
 	// Done fires when the data has crossed the bus (reads) or the write
 	// has been absorbed or committed.
 	Done sim.Event
+
+	// trace carries the telemetry id assigned at Submit; zero when the
+	// request is untraced.
+	trace probe.RequestID
 }
 
 // Disk is a running drive bound to a simulator and a shared bus.
@@ -195,6 +205,13 @@ type Disk struct {
 	hdc   *cache.HDCRegion
 
 	stats Stats
+
+	// tr is the injected lifecycle tracer (nil = tracing off); raOrigin
+	// maps read-ahead blocks not yet re-referenced to the request that
+	// fetched them, so useless read-ahead can be flagged. Allocated only
+	// when tracing is on.
+	tr       probe.Tracer
+	raOrigin map[int64]probe.RequestID
 }
 
 // New builds a drive. The controller memory left after the HDC region
@@ -227,6 +244,10 @@ func New(s *sim.Simulator, b *bus.Bus, id int, cfg Config) (*Disk, error) {
 		return nil, fmt.Errorf("disk: unknown cache organization %d", int(cfg.Org))
 	}
 	d.hdc = cache.NewHDCRegion(cfg.HDCBytes / cfg.Geom.BlockSize)
+	if cfg.Tracer != nil {
+		d.tr = cfg.Tracer
+		d.raOrigin = make(map[int64]probe.RequestID)
+	}
 	return d, nil
 }
 
@@ -241,6 +262,64 @@ func (d *Disk) HDC() *cache.HDCRegion { return d.hdc }
 
 // QueueLen reports pending media operations.
 func (d *Disk) QueueLen() int { return d.queue.Len() }
+
+// Sample implements probe.DiskProbe: a point-in-time reading of the
+// drive's gauges for the telemetry sampler.
+func (d *Disk) Sample() probe.DiskSample {
+	snap := cache.Snap(d.store)
+	return probe.DiskSample{
+		Busy:            d.stats.BusyTime(),
+		Queue:           d.queue.Len(),
+		StoreLen:        snap.Len,
+		StoreCap:        snap.Capacity,
+		StoreEvictions:  snap.Evictions,
+		Pinned:          d.hdc.Len(),
+		PinnedCap:       d.hdc.Capacity(),
+		PinnedDirty:     d.hdc.DirtyCount(),
+		MediaBlocks:     d.stats.MediaBlocks,
+		RequestedBlocks: d.stats.RequestedBlocks,
+	}
+}
+
+// completeHook wraps a request's completion event so the tracer sees the
+// completion timestamp. Only called when tracing is on.
+func (d *Disk) completeHook(id probe.RequestID, done sim.Event) sim.Event {
+	return func(now sim.Time) {
+		d.tr.Complete(id, now)
+		if done != nil {
+			done(now)
+		}
+	}
+}
+
+// markRAUsed credits the requests whose read-ahead fetched any of
+// [pba, pba+n) now that those blocks served a controller hit.
+func (d *Disk) markRAUsed(pba int64, n int) {
+	if d.raOrigin == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		if id, ok := d.raOrigin[pba+int64(i)]; ok {
+			d.tr.ReadAheadUsed(id)
+			delete(d.raOrigin, pba+int64(i))
+		}
+	}
+}
+
+// registerRA records which request fetched the read-ahead blocks of a
+// media read. Requested blocks clear any stale origin (their earlier
+// read-ahead did not save this media operation, so it gets no credit).
+func (d *Disk) registerRA(r Request, count int) {
+	if d.raOrigin == nil || r.trace == 0 {
+		return
+	}
+	for i := 0; i < r.Blocks; i++ {
+		delete(d.raOrigin, r.PBA+int64(i))
+	}
+	for i := r.Blocks; i < count; i++ {
+		d.raOrigin[r.PBA+int64(i)] = r.trace
+	}
+}
 
 // BlockSize reports the drive's logical block size in bytes.
 func (d *Disk) BlockSize() int { return d.cfg.Geom.BlockSize }
@@ -299,6 +378,10 @@ func (d *Disk) Submit(r Request) {
 	if r.Blocks <= 0 {
 		panic(fmt.Sprintf("disk: request of %d blocks", r.Blocks))
 	}
+	if d.tr != nil {
+		r.trace = d.tr.Begin(d.ID, r.PBA, r.Blocks, r.Write, d.sim.Now())
+		r.Done = d.completeHook(r.trace, r.Done)
+	}
 	bytes := r.Blocks * d.cfg.Geom.BlockSize
 	if r.Write {
 		d.stats.Writes++
@@ -309,6 +392,9 @@ func (d *Disk) Submit(r Request) {
 			d.stats.HDCWriteHits++
 			for i := 0; i < r.Blocks; i++ {
 				d.hdc.MarkDirty(r.PBA + int64(i))
+			}
+			if d.tr != nil {
+				d.tr.Outcome(r.trace, probe.OutcomeHDCWriteHit)
 			}
 			d.bus.Transfer(bytes, r.Done)
 			return
@@ -321,11 +407,18 @@ func (d *Disk) Submit(r Request) {
 	d.stats.RequestedBlocks += uint64(r.Blocks)
 	if d.PinnedAll(r.PBA, r.Blocks) {
 		d.stats.HDCReadHits++
+		if d.tr != nil {
+			d.tr.Outcome(r.trace, probe.OutcomeHDCReadHit)
+		}
 		d.bus.Transfer(bytes, r.Done)
 		return
 	}
 	if d.resident(r.PBA, r.Blocks) {
 		d.stats.ReadHits++
+		if d.tr != nil {
+			d.tr.Outcome(r.trace, probe.OutcomeCacheHit)
+			d.markRAUsed(r.PBA, r.Blocks)
+		}
 		d.touchRange(r.PBA, r.Blocks)
 		d.bus.Transfer(bytes, r.Done)
 		return
@@ -334,6 +427,9 @@ func (d *Disk) Submit(r Request) {
 }
 
 func (d *Disk) enqueue(r Request) {
+	if d.tr != nil && r.trace != 0 {
+		d.tr.Queued(r.trace, d.sim.Now())
+	}
 	cyl := d.cfg.Geom.BlockPos(r.PBA).Cylinder
 	d.queue.Push(sched.Request{Cyl: cyl, Payload: r})
 	if !d.busy {
@@ -350,10 +446,17 @@ func (d *Disk) serviceNext() {
 		return
 	}
 	r := item.Payload.(Request)
+	if d.tr != nil && r.trace != 0 {
+		d.tr.Dispatch(r.trace, d.sim.Now())
+	}
 
 	if !r.Write && d.resident(r.PBA, r.Blocks) {
 		// Satisfied while queued by an earlier operation's read-ahead.
 		d.stats.LateHits++
+		if d.tr != nil && r.trace != 0 {
+			d.tr.Outcome(r.trace, probe.OutcomeLateHit)
+			d.markRAUsed(r.PBA, r.Blocks)
+		}
 		d.touchRange(r.PBA, r.Blocks)
 		d.bus.Transfer(r.Blocks*d.cfg.Geom.BlockSize, r.Done)
 		d.serviceNext()
@@ -372,6 +475,15 @@ func (d *Disk) serviceNext() {
 	d.stats.RotTime += acc.RotWait
 	d.stats.TransferTime += acc.TransferTime
 	d.stats.OverheadTime += d.cfg.CommandOverhead
+	if d.tr != nil && r.trace != 0 {
+		d.tr.Media(r.trace, acc.SeekTime, acc.RotWait, acc.TransferTime,
+			d.cfg.CommandOverhead, count-r.Blocks)
+		if r.Write {
+			d.tr.Outcome(r.trace, probe.OutcomeMediaWrite)
+		} else {
+			d.tr.Outcome(r.trace, probe.OutcomeMediaRead)
+		}
+	}
 
 	d.sim.After(d.cfg.CommandOverhead+acc.Total(), func(sim.Time) {
 		if r.Write {
@@ -381,6 +493,7 @@ func (d *Disk) serviceNext() {
 			}
 		} else {
 			d.insertRead(r.PBA, count)
+			d.registerRA(r, count)
 			d.bus.Transfer(r.Blocks*d.cfg.Geom.BlockSize, r.Done)
 		}
 		d.serviceNext()
@@ -462,7 +575,16 @@ func (d *Disk) FlushHDC(done sim.Event) {
 			j++
 		}
 		remaining++
-		d.enqueue(Request{PBA: dirty[i], Blocks: j - i, Write: true, Done: complete})
+		req := Request{PBA: dirty[i], Blocks: j - i, Write: true, Done: complete}
+		if d.tr != nil {
+			req.trace = d.tr.Begin(d.ID, req.PBA, req.Blocks, true, d.sim.Now())
+			// Tag now so dispatch's media-write tag loses the
+			// first-wins race: these are internal writebacks, not host
+			// requests.
+			d.tr.Outcome(req.trace, probe.OutcomeFlushWrite)
+			req.Done = d.completeHook(req.trace, req.Done)
+		}
+		d.enqueue(req)
 		i = j
 	}
 }

@@ -1,0 +1,118 @@
+package disk
+
+import (
+	"reflect"
+	"testing"
+
+	"diskthru/internal/probe"
+)
+
+func tracedDisk(t *testing.T, cfg Config) (*probe.Recorder, func(pba int64, blocks int)) {
+	t.Helper()
+	rec := probe.NewRecorder("t")
+	cfg.Tracer = rec
+	s, d := newDisk(t, cfg)
+	return rec, func(pba int64, blocks int) { read(s, d, pba, blocks) }
+}
+
+func TestTracerRecordsMissLifecycle(t *testing.T) {
+	rec, read := tracedDisk(t, baseConfig())
+	read(100000, 4)
+
+	recs := rec.Records()
+	if len(recs) != 1 {
+		t.Fatalf("traced %d requests, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Disk != 0 || r.PBA != 100000 || r.Blocks != 4 || r.Write {
+		t.Fatalf("identity: %+v", r)
+	}
+	if r.Outcome != probe.OutcomeMediaRead {
+		t.Fatalf("outcome = %q", r.Outcome)
+	}
+	// A miss walks every stage in order.
+	if !(r.Arrive <= r.Queued && r.Queued <= r.Dispatch && r.Dispatch < r.Complete) {
+		t.Fatalf("stage order broken: %+v", r)
+	}
+	// The media split must account for real mechanical work.
+	if r.Transfer <= 0 || r.Seek+r.Rot+r.Transfer+r.Overhead <= 0 {
+		t.Fatalf("media split: %+v", r)
+	}
+	// Blind read-ahead rounds 4 requested blocks up to a 32-block segment.
+	if r.RASpan != 28 {
+		t.Fatalf("RASpan = %d, want 28", r.RASpan)
+	}
+}
+
+func TestTracerTagsHitAndCreditsReadAhead(t *testing.T) {
+	rec, read := tracedDisk(t, baseConfig())
+	read(100000, 4)
+	read(100004, 4) // served from the first read's read-ahead
+
+	recs := rec.Records()
+	if len(recs) != 2 {
+		t.Fatalf("traced %d requests, want 2", len(recs))
+	}
+	hit := recs[1]
+	if hit.Outcome != probe.OutcomeCacheHit {
+		t.Fatalf("second outcome = %q", hit.Outcome)
+	}
+	// Hits bypass the queue: the -1 sentinel marks unreached stages.
+	if hit.Queued != -1 || hit.Dispatch != -1 {
+		t.Fatalf("hit has queue stamps: %+v", hit)
+	}
+	if recs[0].RAUseless {
+		t.Fatal("read-ahead that served a hit flagged useless")
+	}
+}
+
+func TestTracerFlagsUselessReadAhead(t *testing.T) {
+	rec, read := tracedDisk(t, baseConfig())
+	read(100000, 4)
+	read(500000, 4) // far away: the first span is never touched again
+
+	recs := rec.Records()
+	if !recs[0].RAUseless {
+		t.Fatal("unused read-ahead span not flagged useless")
+	}
+	if recs[1].RAUseless {
+		// Still live at end of run, but never used: also useless.
+		t.Log("second span flagged useless too (expected)")
+	}
+}
+
+func TestTracerIsPureObserver(t *testing.T) {
+	run := func(tr probe.Tracer) Stats {
+		cfg := baseConfig()
+		cfg.Tracer = tr
+		s, d := newDisk(t, cfg)
+		for _, pba := range []int64{100000, 100004, 500000, 100008, 7} {
+			read(s, d, pba, 4)
+		}
+		return d.Stats()
+	}
+	plain := run(nil)
+	traced := run(probe.NewRecorder("x"))
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatalf("tracing changed the simulation:\nplain:  %+v\ntraced: %+v", plain, traced)
+	}
+}
+
+func TestDiskSampleGauges(t *testing.T) {
+	s, d := newDisk(t, baseConfig())
+	before := d.Sample()
+	if before.Busy != 0 || before.MediaBlocks != 0 || before.StoreCap <= 0 {
+		t.Fatalf("fresh sample: %+v", before)
+	}
+	read(s, d, 100000, 4)
+	after := d.Sample()
+	if after.Busy <= 0 {
+		t.Fatal("media op added no busy time")
+	}
+	if after.MediaBlocks != 32 || after.RequestedBlocks != 4 {
+		t.Fatalf("traffic counters: %+v", after)
+	}
+	if after.StoreLen <= 0 {
+		t.Fatal("read-ahead left the store empty")
+	}
+}

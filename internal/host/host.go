@@ -127,6 +127,20 @@ type Host struct {
 	Latencies []float64
 }
 
+// Active reports how much work is in flight: streams still replaying
+// records (closed loop) or records not yet retired (open loop). A gauge
+// for the telemetry sampler.
+func (h *Host) Active() int {
+	if h.cfg.ArrivalRate > 0 {
+		return h.openPending
+	}
+	return h.active
+}
+
+// Issued reports per-disk requests submitted so far, as a sampler
+// callback.
+func (h *Host) Issued() uint64 { return h.IssuedRequests }
+
 // New binds a host to its array. The striper must match the one the
 // disks' FOR bitmaps were built with.
 func New(s *sim.Simulator, disks []*disk.Disk, striper array.Striper, layout *fslayout.Layout, cfg Config) (*Host, error) {

@@ -119,6 +119,16 @@ func (l *Live) Replay(server *trace.Trace) sim.Time {
 	return l.lastCompletion
 }
 
+// CacheCounters snapshots the host buffer cache, as a telemetry-sampler
+// callback.
+func (l *Live) CacheCounters() bufcache.Counters { return l.cache.Counters() }
+
+// Active reports streams still replaying records, for the sampler.
+func (l *Live) Active() int { return l.active }
+
+// Issued reports per-disk requests submitted so far, for the sampler.
+func (l *Live) Issued() uint64 { return l.IssuedRequests }
+
 // CacheHitRate reports the host buffer cache's hit rate over the run.
 func (l *Live) CacheHitRate() float64 {
 	total := l.cache.Hits() + l.cache.Misses()

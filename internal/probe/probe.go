@@ -1,0 +1,105 @@
+// Package probe is the simulator's telemetry layer: request-lifecycle
+// tracing, periodic time-series metrics, and structured export of both.
+//
+// The layer is strictly an observer. Every hook is injected — a nil
+// Tracer, a nil sampler source — and the instrumented packages guard each
+// call site with a single nil check, so a run with telemetry disabled
+// follows exactly the code path it did before the layer existed. Sampler
+// events read counters but never mutate simulation state, which keeps the
+// event trajectory — and therefore every final statistic — bit-identical
+// whether telemetry is on or off. The determinism regression test in the
+// root package holds this property.
+//
+// Three export formats:
+//
+//   - Request traces are JSONL: one Record per controller request, with
+//     lifecycle timestamps (arrive/queued/dispatch/complete), mechanical
+//     time split (seek/rot/transfer/overhead), an outcome tag, and the
+//     read-ahead span plus a useless-read-ahead flag.
+//   - Time-series metrics are CSV: one row per (sampling interval, disk)
+//     with utilization, queue depth, cache occupancy, pinned fraction,
+//     read-ahead efficiency, and engine-level gauges.
+//   - Response-time percentiles flow through stats.Histogram and surface
+//     in the experiment tables (see internal/experiments).
+package probe
+
+// RequestID identifies one traced request within a run. The zero value
+// means "not traced": tracers return it when ignoring a request, and
+// instrumented code passes it around harmlessly.
+type RequestID uint64
+
+// Outcome tags name how a request was ultimately served.
+const (
+	// OutcomeHDCReadHit: read fully absorbed by the pinned HDC region.
+	OutcomeHDCReadHit = "hdc-read-hit"
+	// OutcomeHDCWriteHit: write absorbed by the pinned HDC region.
+	OutcomeHDCWriteHit = "hdc-write-hit"
+	// OutcomeCacheHit: read served from the controller store at submit.
+	OutcomeCacheHit = "cache-hit"
+	// OutcomeLateHit: read found fully cached when dequeued (satisfied
+	// while queued by an earlier operation's read-ahead).
+	OutcomeLateHit = "late-hit"
+	// OutcomeMediaRead: read that performed a platter operation.
+	OutcomeMediaRead = "media-read"
+	// OutcomeMediaWrite: write that performed a platter operation.
+	OutcomeMediaWrite = "media-write"
+	// OutcomeFlushWrite: internal writeback issued by flush_hdc.
+	OutcomeFlushWrite = "flush-write"
+)
+
+// Tracer receives per-request lifecycle callbacks from a disk
+// controller. Implementations must be pure observers: they may record
+// but must never schedule events or touch simulation state.
+//
+// Call order for one request: Begin, then (for queued requests) Queued
+// and Dispatch, then Media for platter operations, Outcome once, and
+// finally Complete. Outcome is first-wins: implementations must ignore a
+// second tag for the same request (flush writebacks are tagged at issue
+// and would otherwise be re-tagged media-write at dispatch).
+// ReadAheadUsed may arrive any time after Media, crediting the request
+// whose read-ahead later served a controller hit.
+type Tracer interface {
+	// Begin registers a request entering the controller and returns its
+	// id (0 to decline tracing it).
+	Begin(disk int, pba int64, blocks int, write bool, now float64) RequestID
+	// Queued stamps the request's entry into the controller queue.
+	Queued(id RequestID, now float64)
+	// Dispatch stamps the request leaving the queue for the platters.
+	Dispatch(id RequestID, now float64)
+	// Media records the mechanical time split of the platter operation
+	// and the read-ahead span (blocks fetched beyond those requested).
+	Media(id RequestID, seek, rot, transfer, overhead float64, raSpan int)
+	// Outcome tags how the request was served (first tag wins).
+	Outcome(id RequestID, outcome string)
+	// ReadAheadUsed marks that a block this request read ahead later
+	// served a controller hit.
+	ReadAheadUsed(id RequestID)
+	// Complete stamps the moment the request's data finished crossing
+	// the bus (reads) or its write was absorbed or committed.
+	Complete(id RequestID, now float64)
+}
+
+// Nop is a Tracer that records nothing — the explicit no-op default for
+// callers that want a non-nil tracer.
+type Nop struct{}
+
+// Begin implements Tracer.
+func (Nop) Begin(int, int64, int, bool, float64) RequestID { return 0 }
+
+// Queued implements Tracer.
+func (Nop) Queued(RequestID, float64) {}
+
+// Dispatch implements Tracer.
+func (Nop) Dispatch(RequestID, float64) {}
+
+// Media implements Tracer.
+func (Nop) Media(RequestID, float64, float64, float64, float64, int) {}
+
+// Outcome implements Tracer.
+func (Nop) Outcome(RequestID, string) {}
+
+// ReadAheadUsed implements Tracer.
+func (Nop) ReadAheadUsed(RequestID) {}
+
+// Complete implements Tracer.
+func (Nop) Complete(RequestID, float64) {}

@@ -1,0 +1,267 @@
+package probe
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"diskthru/internal/bufcache"
+	"diskthru/internal/sim"
+)
+
+func TestRecorderLifecycle(t *testing.T) {
+	r := NewRecorder("run1")
+	id := r.Begin(3, 100, 4, false, 1.0)
+	if id == 0 {
+		t.Fatal("Begin returned the untraced id")
+	}
+	r.Queued(id, 1.5)
+	r.Dispatch(id, 2.0)
+	r.Media(id, 0.003, 0.002, 0.001, 0.0003, 28)
+	r.Outcome(id, OutcomeMediaRead)
+	r.Complete(id, 2.5)
+
+	recs := r.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	rec := recs[0]
+	if rec.Run != "run1" || rec.Disk != 3 || rec.PBA != 100 || rec.Blocks != 4 || rec.Write {
+		t.Fatalf("identity fields wrong: %+v", rec)
+	}
+	if rec.Arrive != 1.0 || rec.Queued != 1.5 || rec.Dispatch != 2.0 || rec.Complete != 2.5 {
+		t.Fatalf("timestamps wrong: %+v", rec)
+	}
+	if rec.Seek != 0.003 || rec.Rot != 0.002 || rec.Transfer != 0.001 || rec.Overhead != 0.0003 {
+		t.Fatalf("media split wrong: %+v", rec)
+	}
+	if rec.Outcome != OutcomeMediaRead || rec.RASpan != 28 {
+		t.Fatalf("outcome fields wrong: %+v", rec)
+	}
+	if !rec.RAUseless {
+		t.Fatal("unused read-ahead span not flagged useless")
+	}
+}
+
+func TestRecorderOutcomeFirstWins(t *testing.T) {
+	r := NewRecorder("")
+	id := r.Begin(0, 0, 1, true, 0)
+	r.Outcome(id, OutcomeFlushWrite)
+	r.Outcome(id, OutcomeMediaWrite)
+	if got := r.Records()[0].Outcome; got != OutcomeFlushWrite {
+		t.Fatalf("outcome = %q, want first tag %q", got, OutcomeFlushWrite)
+	}
+}
+
+func TestRecorderReadAheadUsedClearsUseless(t *testing.T) {
+	r := NewRecorder("")
+	id := r.Begin(0, 0, 1, false, 0)
+	r.Media(id, 0, 0, 0, 0, 10)
+	r.ReadAheadUsed(id)
+	if r.Records()[0].RAUseless {
+		t.Fatal("used read-ahead flagged useless")
+	}
+	// Zero-span requests are never useless, used or not.
+	id2 := r.Begin(0, 5, 1, false, 0)
+	r.Media(id2, 0, 0, 0, 0, 0)
+	if r.Records()[1].RAUseless {
+		t.Fatal("zero-span request flagged useless")
+	}
+}
+
+func TestRecorderIgnoresUntracedID(t *testing.T) {
+	r := NewRecorder("")
+	// Must not panic or record anything.
+	r.Queued(0, 1)
+	r.Dispatch(0, 1)
+	r.Media(0, 0, 0, 0, 0, 0)
+	r.Outcome(0, OutcomeCacheHit)
+	r.ReadAheadUsed(0)
+	r.Complete(0, 1)
+	if r.Len() != 0 {
+		t.Fatalf("untraced id created %d records", r.Len())
+	}
+}
+
+func TestRecorderJSONLRoundTrips(t *testing.T) {
+	r := NewRecorder("jtest")
+	id := r.Begin(1, 42, 2, false, 0.25)
+	r.Outcome(id, OutcomeCacheHit)
+	r.Complete(id, 0.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if rec.Run != "jtest" || rec.Outcome != OutcomeCacheHit {
+			t.Fatalf("round-trip mismatch: %+v", rec)
+		}
+		// A cache hit is never queued or dispatched.
+		if rec.Queued != -1 || rec.Dispatch != -1 {
+			t.Fatalf("hit has queue stamps: %+v", rec)
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("got %d JSONL lines, want 1", n)
+	}
+}
+
+func TestNopTracerDoesNothing(t *testing.T) {
+	var tr Tracer = Nop{}
+	if id := tr.Begin(0, 0, 1, false, 0); id != 0 {
+		t.Fatalf("Nop.Begin = %d, want 0", id)
+	}
+	tr.Queued(1, 0)
+	tr.Complete(1, 0)
+}
+
+// fakeDisk is a scripted DiskProbe: each Sample call advances its
+// counters by fixed steps.
+type fakeDisk struct {
+	s DiskSample
+}
+
+func (f *fakeDisk) Sample() DiskSample {
+	f.s.Busy += 0.05
+	f.s.MediaBlocks += 64
+	f.s.RequestedBlocks += 16
+	f.s.Queue = 3
+	f.s.StoreLen, f.s.StoreCap = 50, 100
+	f.s.Pinned, f.s.PinnedCap, f.s.PinnedDirty = 10, 40, 2
+	return f.s
+}
+
+func TestSamplerCollectsIntervals(t *testing.T) {
+	sm := sim.New()
+	s := NewSampler("r1", 0.1, []DiskProbe{&fakeDisk{}, &fakeDisk{}}, SamplerSources{
+		BusUtil:   func() float64 { return 0.5 },
+		Issued:    func() uint64 { return 7 },
+		Active:    func() int { return 2 },
+		HostCache: func() bufcache.Counters { return bufcache.Counters{Hits: 9, Misses: 4} },
+	})
+	s.Start(sm)
+	// Keep the sim alive for ~3 intervals with dummy events.
+	for _, at := range []float64{0.05, 0.15, 0.25} {
+		sm.At(at, func(sim.Time) {})
+	}
+	sm.Run()
+	// Ticks at 0.1, 0.2 see pending events and reschedule; the tick at
+	// 0.3 finds the queue empty and stops. 3 intervals x 2 disks.
+	if got := len(s.Rows()); got != 6 {
+		t.Fatalf("got %d rows, want 6", got)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("got %d CSV lines, want header+6", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "run,time,disk,util,queue") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	// util = 0.05 busy per 0.1s interval = 0.5; ra_efficiency = 16/64.
+	if !strings.Contains(lines[1], ",0.5,3,") || !strings.Contains(lines[1], ",0.25,") {
+		t.Fatalf("bad first row: %s", lines[1])
+	}
+}
+
+func TestSamplerStopsWhenSimDrains(t *testing.T) {
+	sm := sim.New()
+	s := NewSampler("r", 0.1, nil, SamplerSources{})
+	s.Start(sm)
+	end := sm.Run()
+	if end != 0.1 {
+		t.Fatalf("sim drained at %v, want 0.1 (one orphan tick)", end)
+	}
+	if sm.Pending() != 0 {
+		t.Fatal("sampler kept the simulation alive")
+	}
+}
+
+func TestTelemetryEndToEnd(t *testing.T) {
+	var traceBuf, metricsBuf bytes.Buffer
+	tel := NewTelemetry(&traceBuf, &metricsBuf, 0.1)
+
+	for run := 0; run < 2; run++ {
+		scope := tel.StartRun("unit")
+		tr := scope.Tracer()
+		if tr == nil {
+			t.Fatal("tracing enabled but Tracer is nil")
+		}
+		sm := sim.New()
+		scope.StartSampler(sm, []DiskProbe{&fakeDisk{}}, SamplerSources{})
+		sm.At(0.15, func(now sim.Time) {
+			id := tr.Begin(0, 1, 1, false, now)
+			tr.Outcome(id, OutcomeCacheHit)
+			tr.Complete(id, now)
+		})
+		sm.Run()
+		if err := scope.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	traceLines := strings.Split(strings.TrimSpace(traceBuf.String()), "\n")
+	if len(traceLines) != 2 {
+		t.Fatalf("got %d trace lines, want 2 (one per run)", len(traceLines))
+	}
+	if !strings.Contains(traceLines[0], `"run":"r001-unit"`) ||
+		!strings.Contains(traceLines[1], `"run":"r002-unit"`) {
+		t.Fatalf("run labels not sequenced: %v", traceLines)
+	}
+	metricsLines := strings.Split(strings.TrimSpace(metricsBuf.String()), "\n")
+	// Header once, then rows from both runs.
+	if metricsLines[0][:8] != "run,time" {
+		t.Fatalf("bad metrics header: %s", metricsLines[0])
+	}
+	if strings.Count(metricsBuf.String(), "run,time") != 1 {
+		t.Fatal("metrics header repeated across runs")
+	}
+	if len(metricsLines) < 3 {
+		t.Fatalf("got %d metrics lines, want >= 3", len(metricsLines))
+	}
+}
+
+func TestNilTelemetryAndScopeAreInert(t *testing.T) {
+	var tel *Telemetry
+	scope := tel.StartRun("x")
+	if scope != nil {
+		t.Fatal("nil telemetry produced a scope")
+	}
+	if scope.Tracer() != nil {
+		t.Fatal("nil scope produced a tracer")
+	}
+	scope.StartSampler(sim.New(), nil, SamplerSources{})
+	if err := scope.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTelemetryTraceOnlyAndMetricsOnly(t *testing.T) {
+	var buf bytes.Buffer
+	traceOnly := NewTelemetry(&buf, nil, 0)
+	scope := traceOnly.StartRun("a")
+	if scope.Tracer() == nil {
+		t.Fatal("trace-only telemetry has no tracer")
+	}
+	scope.StartSampler(sim.New(), nil, SamplerSources{}) // metrics off: no-op
+	if err := scope.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	metricsOnly := NewTelemetry(nil, &buf, 0)
+	if metricsOnly.StartRun("b").Tracer() != nil {
+		t.Fatal("metrics-only telemetry has a tracer")
+	}
+}

@@ -1,0 +1,143 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Record is one traced request, serialized as a JSONL line. Timestamps
+// are virtual seconds; a stage the request never reached is -1 (cache
+// hits, for example, are never queued or dispatched).
+type Record struct {
+	// Run labels the simulation run the request belongs to, so several
+	// runs (an experiment sweep) can share one trace file.
+	Run string `json:"run,omitempty"`
+	// ID is the per-run request sequence number, starting at 1.
+	ID uint64 `json:"id"`
+	// Disk is the physical drive index in the array.
+	Disk int `json:"disk"`
+	// PBA and Blocks give the physical extent of the request.
+	PBA    int64 `json:"pba"`
+	Blocks int   `json:"blocks"`
+	Write  bool  `json:"write"`
+
+	// Lifecycle timestamps, in virtual seconds.
+	Arrive   float64 `json:"arrive"`
+	Queued   float64 `json:"queued"`
+	Dispatch float64 `json:"dispatch"`
+	Complete float64 `json:"complete"`
+
+	// Mechanical time split of the media operation, if one was needed.
+	Seek     float64 `json:"seek"`
+	Rot      float64 `json:"rot"`
+	Transfer float64 `json:"transfer"`
+	Overhead float64 `json:"overhead"`
+
+	// Outcome is one of the Outcome* tags.
+	Outcome string `json:"outcome"`
+	// RASpan counts blocks fetched beyond those requested; RAUseless is
+	// true when a read-ahead span never served a later controller hit.
+	RASpan    int  `json:"ra_span"`
+	RAUseless bool `json:"ra_useless"`
+
+	raUsed bool
+}
+
+// Recorder is the recording Tracer: it buffers one Record per request
+// and finalizes the useless-read-ahead flags when flushed (usefulness is
+// only known once the whole run has been observed).
+type Recorder struct {
+	run  string
+	recs []Record
+}
+
+// NewRecorder returns an empty recorder labeling its records with run.
+func NewRecorder(run string) *Recorder {
+	return &Recorder{run: run}
+}
+
+// Begin implements Tracer.
+func (r *Recorder) Begin(disk int, pba int64, blocks int, write bool, now float64) RequestID {
+	r.recs = append(r.recs, Record{
+		Run: r.run, ID: uint64(len(r.recs) + 1),
+		Disk: disk, PBA: pba, Blocks: blocks, Write: write,
+		Arrive: now, Queued: -1, Dispatch: -1, Complete: -1,
+	})
+	return RequestID(len(r.recs))
+}
+
+// rec resolves an id to its record; id 0 (untraced) returns nil.
+func (r *Recorder) rec(id RequestID) *Record {
+	if id == 0 || int(id) > len(r.recs) {
+		return nil
+	}
+	return &r.recs[id-1]
+}
+
+// Queued implements Tracer.
+func (r *Recorder) Queued(id RequestID, now float64) {
+	if rec := r.rec(id); rec != nil {
+		rec.Queued = now
+	}
+}
+
+// Dispatch implements Tracer.
+func (r *Recorder) Dispatch(id RequestID, now float64) {
+	if rec := r.rec(id); rec != nil {
+		rec.Dispatch = now
+	}
+}
+
+// Media implements Tracer.
+func (r *Recorder) Media(id RequestID, seek, rot, transfer, overhead float64, raSpan int) {
+	if rec := r.rec(id); rec != nil {
+		rec.Seek, rec.Rot, rec.Transfer, rec.Overhead = seek, rot, transfer, overhead
+		rec.RASpan = raSpan
+	}
+}
+
+// Outcome implements Tracer (first tag wins).
+func (r *Recorder) Outcome(id RequestID, outcome string) {
+	if rec := r.rec(id); rec != nil && rec.Outcome == "" {
+		rec.Outcome = outcome
+	}
+}
+
+// ReadAheadUsed implements Tracer.
+func (r *Recorder) ReadAheadUsed(id RequestID) {
+	if rec := r.rec(id); rec != nil {
+		rec.raUsed = true
+	}
+}
+
+// Complete implements Tracer.
+func (r *Recorder) Complete(id RequestID, now float64) {
+	if rec := r.rec(id); rec != nil {
+		rec.Complete = now
+	}
+}
+
+// Len reports how many requests have been traced.
+func (r *Recorder) Len() int { return len(r.recs) }
+
+// Records finalizes and returns the buffered records: a read-ahead span
+// is useless if none of its blocks ever served a controller hit.
+func (r *Recorder) Records() []Record {
+	for i := range r.recs {
+		rec := &r.recs[i]
+		rec.RAUseless = rec.RASpan > 0 && !rec.raUsed
+	}
+	return r.recs
+}
+
+// WriteJSONL finalizes the records and writes one JSON object per line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range r.Records() {
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("probe: trace encode: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package probe
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"diskthru/internal/bufcache"
+	"diskthru/internal/sim"
+)
+
+// DiskSample is one drive's cumulative counters at a sampling instant.
+// The sampler differences consecutive samples to produce per-interval
+// rates.
+type DiskSample struct {
+	// Busy is cumulative mechanical busy time (seconds). It is charged
+	// at dispatch, so per-interval utilization can exceed 1 when a long
+	// operation starts inside a short interval.
+	Busy float64
+	// Queue is the instantaneous controller queue depth.
+	Queue int
+	// StoreLen/StoreCap/StoreEvictions describe the replaceable store.
+	StoreLen, StoreCap int
+	StoreEvictions     uint64
+	// Pinned/PinnedCap/PinnedDirty describe the HDC region.
+	Pinned, PinnedCap, PinnedDirty int
+	// MediaBlocks/RequestedBlocks are the cumulative traffic counters.
+	MediaBlocks, RequestedBlocks uint64
+}
+
+// DiskProbe is anything that can be sampled as a drive; *disk.Disk
+// implements it.
+type DiskProbe interface {
+	Sample() DiskSample
+}
+
+// SamplerSources carries the optional engine- and host-level gauges a
+// sampler reads each interval. Any field may be nil.
+type SamplerSources struct {
+	// BusUtil reports cumulative bus utilization.
+	BusUtil func() float64
+	// Issued reports per-disk requests issued by the host so far.
+	Issued func() uint64
+	// Active reports the host's in-flight streams or records.
+	Active func() int
+	// HostCache reports the live host buffer cache's counters (live
+	// replay mode only).
+	HostCache func() bufcache.Counters
+}
+
+// metricsHeader is the CSV schema, documented in DESIGN.md.
+var metricsHeader = []string{
+	"run", "time", "disk",
+	"util", "queue",
+	"store_blocks", "store_cap", "occupancy", "evictions",
+	"pinned", "pinned_cap", "pinned_frac", "pinned_dirty",
+	"media_blocks", "req_blocks", "ra_efficiency",
+	"sim_events", "sim_pending", "bus_util",
+	"issued", "active", "host_hits", "host_misses",
+}
+
+// Sampler periodically snapshots every probe while the simulation runs
+// and buffers one CSV row per (interval, disk). It keeps itself alive
+// only while other events are pending, so it never prevents the
+// simulation from draining.
+type Sampler struct {
+	run      string
+	interval float64
+	disks    []DiskProbe
+	src      SamplerSources
+
+	sm   *sim.Simulator
+	prev []DiskSample
+	rows [][]string
+}
+
+// NewSampler returns a sampler for the given drives. interval is the
+// virtual-time sampling period in seconds.
+func NewSampler(run string, interval float64, disks []DiskProbe, src SamplerSources) *Sampler {
+	return &Sampler{run: run, interval: interval, disks: disks, src: src,
+		prev: make([]DiskSample, len(disks))}
+}
+
+// Start arms the periodic sampling event on the simulator. Must be
+// called before the run's events are processed.
+func (s *Sampler) Start(sm *sim.Simulator) {
+	s.sm = sm
+	var tick sim.Event
+	tick = func(now sim.Time) {
+		s.sample(now)
+		// Reschedule only while other events are pending: once the
+		// simulation proper has drained, the chain stops.
+		if sm.Pending() > 0 {
+			sm.After(s.interval, tick)
+		}
+	}
+	sm.After(s.interval, tick)
+}
+
+// Rows returns the buffered CSV rows (no header).
+func (s *Sampler) Rows() [][]string { return s.rows }
+
+// WriteCSV writes the buffered rows; header controls whether the schema
+// row is emitted first (a shared file wants it only once).
+func (s *Sampler) WriteCSV(w io.Writer, header bool) error {
+	cw := csv.NewWriter(w)
+	if header {
+		if err := cw.Write(metricsHeader); err != nil {
+			return err
+		}
+	}
+	for _, row := range s.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func (s *Sampler) sample(now float64) {
+	ftime := strconv.FormatFloat(now, 'f', 6, 64)
+	events := strconv.FormatUint(s.sm.Processed(), 10)
+	pending := strconv.Itoa(s.sm.Pending())
+	busUtil, issued, active := "", "", ""
+	if s.src.BusUtil != nil {
+		busUtil = fnum(s.src.BusUtil())
+	}
+	if s.src.Issued != nil {
+		issued = strconv.FormatUint(s.src.Issued(), 10)
+	}
+	if s.src.Active != nil {
+		active = strconv.Itoa(s.src.Active())
+	}
+	hostHits, hostMisses := "", ""
+	if s.src.HostCache != nil {
+		c := s.src.HostCache()
+		hostHits = strconv.FormatUint(c.Hits, 10)
+		hostMisses = strconv.FormatUint(c.Misses, 10)
+	}
+	for i, d := range s.disks {
+		cur := d.Sample()
+		prev := s.prev[i]
+		s.prev[i] = cur
+
+		util := (cur.Busy - prev.Busy) / s.interval
+		occupancy := 0.0
+		if cur.StoreCap > 0 {
+			occupancy = float64(cur.StoreLen) / float64(cur.StoreCap)
+		}
+		pinnedFrac := 0.0
+		if cur.PinnedCap > 0 {
+			pinnedFrac = float64(cur.Pinned) / float64(cur.PinnedCap)
+		}
+		mediaDelta := cur.MediaBlocks - prev.MediaBlocks
+		reqDelta := cur.RequestedBlocks - prev.RequestedBlocks
+		raEff := ""
+		if mediaDelta > 0 {
+			// Requested blocks per media block moved: 1.0 means no
+			// read-ahead waste, <1 means speculative transfer, >1 means
+			// cache hits served traffic without media work.
+			raEff = fnum(float64(reqDelta) / float64(mediaDelta))
+		}
+		s.rows = append(s.rows, []string{
+			s.run, ftime, strconv.Itoa(i),
+			fnum(util), strconv.Itoa(cur.Queue),
+			strconv.Itoa(cur.StoreLen), strconv.Itoa(cur.StoreCap), fnum(occupancy),
+			strconv.FormatUint(cur.StoreEvictions, 10),
+			strconv.Itoa(cur.Pinned), strconv.Itoa(cur.PinnedCap), fnum(pinnedFrac),
+			strconv.Itoa(cur.PinnedDirty),
+			strconv.FormatUint(mediaDelta, 10), strconv.FormatUint(reqDelta, 10), raEff,
+			events, pending, busUtil,
+			issued, active, hostHits, hostMisses,
+		})
+	}
+}
+
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }

@@ -1,0 +1,101 @@
+package probe
+
+import (
+	"fmt"
+	"io"
+
+	"diskthru/internal/sim"
+)
+
+// Telemetry coordinates export across the runs of a process: it owns the
+// trace and metrics destinations, hands each simulation run a RunScope,
+// and serializes the per-run buffers into the shared writers. Either
+// writer may be nil to disable that export. Telemetry is not safe for
+// concurrent runs; the experiment drivers run sequentially.
+type Telemetry struct {
+	traceW   io.Writer
+	metricsW io.Writer
+	interval float64
+
+	runSeq      int
+	wroteHeader bool
+}
+
+// DefaultSampleInterval is the metrics sampling period (virtual seconds)
+// used when the caller passes a non-positive interval.
+const DefaultSampleInterval = 0.1
+
+// NewTelemetry returns a coordinator writing JSONL traces to traceW and
+// CSV metrics to metricsW (either may be nil), sampling every
+// sampleInterval virtual seconds.
+func NewTelemetry(traceW, metricsW io.Writer, sampleInterval float64) *Telemetry {
+	if sampleInterval <= 0 {
+		sampleInterval = DefaultSampleInterval
+	}
+	return &Telemetry{traceW: traceW, metricsW: metricsW, interval: sampleInterval}
+}
+
+// RunScope is one simulation run's view of the telemetry layer. A nil
+// *RunScope is valid and inert, so call sites need no guards.
+type RunScope struct {
+	tel  *Telemetry
+	run  string
+	rec  *Recorder
+	samp *Sampler
+}
+
+// StartRun opens a scope for one simulation run. label names the run in
+// the exported records (a sequence number is prepended so sweeps that
+// reuse a label stay distinguishable).
+func (t *Telemetry) StartRun(label string) *RunScope {
+	if t == nil {
+		return nil
+	}
+	t.runSeq++
+	rs := &RunScope{tel: t, run: fmt.Sprintf("r%03d-%s", t.runSeq, label)}
+	if t.traceW != nil {
+		rs.rec = NewRecorder(rs.run)
+	}
+	return rs
+}
+
+// Tracer returns the run's request tracer, or nil when tracing is off —
+// callers pass it straight into the disk configuration.
+func (rs *RunScope) Tracer() Tracer {
+	if rs == nil || rs.rec == nil {
+		return nil
+	}
+	return rs.rec
+}
+
+// StartSampler arms periodic metrics sampling for the run; a no-op when
+// metrics export is off. Call after the rig is built and before the
+// replay starts.
+func (rs *RunScope) StartSampler(sm *sim.Simulator, disks []DiskProbe, src SamplerSources) {
+	if rs == nil || rs.tel.metricsW == nil {
+		return
+	}
+	rs.samp = NewSampler(rs.run, rs.tel.interval, disks, src)
+	rs.samp.Start(sm)
+}
+
+// Finish flushes the run's buffered trace records and metrics rows to
+// the coordinator's writers.
+func (rs *RunScope) Finish() error {
+	if rs == nil {
+		return nil
+	}
+	if rs.rec != nil {
+		if err := rs.rec.WriteJSONL(rs.tel.traceW); err != nil {
+			return err
+		}
+	}
+	if rs.samp != nil {
+		header := !rs.tel.wroteHeader
+		rs.tel.wroteHeader = true
+		if err := rs.samp.WriteCSV(rs.tel.metricsW, header); err != nil {
+			return fmt.Errorf("probe: metrics write: %w", err)
+		}
+	}
+	return nil
+}

@@ -27,10 +27,11 @@ type entry struct {
 // Simulator owns the virtual clock and the pending-event queue.
 // The zero value is ready to use.
 type Simulator struct {
-	now    Time
-	nextID uint64
-	heap   []entry
-	ran    uint64
+	now     Time
+	nextID  uint64
+	heap    []entry
+	ran     uint64
+	maxHeap int
 }
 
 // New returns an empty simulator with the clock at zero.
@@ -44,6 +45,13 @@ func (s *Simulator) Processed() uint64 { return s.ran }
 
 // Pending reports how many events are waiting in the queue.
 func (s *Simulator) Pending() int { return len(s.heap) }
+
+// MaxPending reports the high-water mark of the event queue — a gauge
+// for the telemetry layer and for sizing intuition in tests.
+func (s *Simulator) MaxPending() int { return s.maxHeap }
+
+// Scheduled reports how many events have ever been scheduled.
+func (s *Simulator) Scheduled() uint64 { return s.nextID }
 
 // At schedules fn to run at the absolute virtual time at. Scheduling in
 // the past panics: it always indicates a modeling bug, never a
@@ -104,6 +112,9 @@ func (e entry) less(o entry) bool {
 
 func (s *Simulator) push(e entry) {
 	s.heap = append(s.heap, e)
+	if len(s.heap) > s.maxHeap {
+		s.maxHeap = len(s.heap)
+	}
 	i := len(s.heap) - 1
 	for i > 0 {
 		parent := (i - 1) / 2

@@ -281,3 +281,101 @@ func TestPropertyResourceWorkConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestInterleavedAtAfterAccounting(t *testing.T) {
+	s := New()
+	var fired []float64
+	note := func(now Time) { fired = append(fired, now) }
+	// Absolute events at 1, 4; the one at 1 chains relative events at
+	// 1+2=3 and (from there) 3+3=6.
+	s.At(4, note)
+	s.At(1, func(now Time) {
+		note(now)
+		s.After(2, func(now Time) {
+			note(now)
+			s.After(3, note)
+		})
+	})
+	if s.Scheduled() != 2 || s.Pending() != 2 || s.Processed() != 0 {
+		t.Fatalf("before run: scheduled=%d pending=%d processed=%d",
+			s.Scheduled(), s.Pending(), s.Processed())
+	}
+
+	// Deadline 3 fires the events at 1 and 3 (the chained After lands
+	// exactly on the deadline) but not 4 or 6.
+	if now := s.RunUntil(3); now != 3 {
+		t.Fatalf("RunUntil(3) = %v", now)
+	}
+	if s.Processed() != 2 || s.Pending() != 2 {
+		t.Fatalf("mid run: processed=%d pending=%d", s.Processed(), s.Pending())
+	}
+	// The event at 6 was scheduled while draining toward the deadline.
+	if s.Scheduled() != 4 {
+		t.Fatalf("mid run: scheduled=%d, want 4", s.Scheduled())
+	}
+
+	if end := s.Run(); end != 6 {
+		t.Fatalf("Run() = %v, want 6", end)
+	}
+	want := []float64{1, 3, 4, 6}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if s.Processed() != 4 || s.Pending() != 0 || s.Scheduled() != 4 {
+		t.Fatalf("after run: processed=%d pending=%d scheduled=%d",
+			s.Processed(), s.Pending(), s.Scheduled())
+	}
+}
+
+func TestRunUntilRepeatedDeadlines(t *testing.T) {
+	s := New()
+	ticks := 0
+	var tick Event
+	tick = func(Time) {
+		ticks++
+		if ticks < 5 {
+			s.After(1, tick)
+		}
+	}
+	s.At(1, tick)
+	for d := 1.0; d <= 3; d++ {
+		if now := s.RunUntil(d); now != d {
+			t.Fatalf("RunUntil(%v) = %v", d, now)
+		}
+		if ticks != int(d) {
+			t.Fatalf("at deadline %v: %d ticks", d, ticks)
+		}
+	}
+	s.Run()
+	if ticks != 5 || s.Now() != 5 {
+		t.Fatalf("final: ticks=%d now=%v", ticks, s.Now())
+	}
+}
+
+func TestMaxPendingHighWaterMark(t *testing.T) {
+	s := New()
+	if s.MaxPending() != 0 {
+		t.Fatalf("fresh MaxPending = %d", s.MaxPending())
+	}
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func(Time) {})
+	}
+	s.Run()
+	// The mark records peak depth, not the (drained) current depth.
+	if s.MaxPending() != 10 || s.Pending() != 0 {
+		t.Fatalf("MaxPending = %d pending = %d", s.MaxPending(), s.Pending())
+	}
+	// Further scheduling above the old mark raises it.
+	for i := 0; i < 12; i++ {
+		s.After(1, func(Time) {})
+	}
+	if s.MaxPending() != 12 {
+		t.Fatalf("MaxPending = %d, want 12", s.MaxPending())
+	}
+	s.Run()
+}

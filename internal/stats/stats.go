@@ -143,9 +143,21 @@ func NewHistogram(lo, hi float64, buckets int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, buckets: make([]uint64, buckets)}
 }
 
-// Observe adds one sample.
+// Observe adds one sample. NaN samples are dropped (converting NaN to
+// int is implementation-defined, so they must never reach the bucket
+// arithmetic); infinities clamp to the edge buckets.
 func (h *Histogram) Observe(v float64) {
-	i := int(float64(len(h.buckets)) * (v - h.Lo) / (h.Hi - h.Lo))
+	var i int
+	switch {
+	case math.IsNaN(v):
+		return
+	case math.IsInf(v, 1):
+		i = len(h.buckets) - 1
+	case math.IsInf(v, -1):
+		i = 0
+	default:
+		i = int(float64(len(h.buckets)) * (v - h.Lo) / (h.Hi - h.Lo))
+	}
 	if i < 0 {
 		i = 0
 	}
@@ -165,7 +177,9 @@ func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
 // Buckets reports the bucket count.
 func (h *Histogram) Buckets() int { return len(h.buckets) }
 
-// Quantile reports an approximate q-quantile (bucket midpoint).
+// Quantile reports an approximate q-quantile (bucket midpoint). The
+// boundaries are defined: q=0 is the midpoint of the first non-empty
+// bucket and q=1 is Hi, the histogram's upper edge.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.n == 0 {
 		return 0

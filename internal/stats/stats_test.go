@@ -156,3 +156,59 @@ func TestHistogramBadConfigPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestHistogramObserveNaNDropped(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Observe(math.NaN())
+	if h.N() != 0 {
+		t.Fatalf("NaN was counted: N = %d", h.N())
+	}
+	for i := 0; i < h.Buckets(); i++ {
+		if h.Bucket(i) != 0 {
+			t.Fatalf("NaN landed in bucket %d", i)
+		}
+	}
+	h.Observe(5)
+	if h.N() != 1 {
+		t.Fatalf("real sample after NaN: N = %d", h.N())
+	}
+}
+
+func TestHistogramObserveInfClamped(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	if h.N() != 2 {
+		t.Fatalf("N = %d, want 2", h.N())
+	}
+	if h.Bucket(9) != 1 {
+		t.Fatalf("+Inf not in top bucket: %d", h.Bucket(9))
+	}
+	if h.Bucket(0) != 1 {
+		t.Fatalf("-Inf not in bottom bucket: %d", h.Bucket(0))
+	}
+}
+
+func TestHistogramQuantileBoundaries(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for _, v := range []float64{25, 35, 75} {
+		h.Observe(v)
+	}
+	// q=0 is the midpoint of the first non-empty bucket ([20,30) -> 25).
+	if q := h.Quantile(0); q != 25 {
+		t.Fatalf("Quantile(0) = %v, want 25", q)
+	}
+	// q=1 is Hi, the histogram's upper edge.
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("Quantile(1) = %v, want 100", q)
+	}
+	// Monotonicity across the full range.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}

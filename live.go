@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"diskthru/internal/host"
+	"diskthru/internal/probe"
 	"diskthru/internal/trace"
 	"diskthru/internal/workload"
 )
@@ -54,7 +55,8 @@ func RunLive(w *Workload, cfg Config, opts LiveOptions) (LiveResult, error) {
 		cacheMB = 384
 	}
 
-	r, err := buildRig(w, cfg)
+	scope := cfg.telemetry().StartRun(fmt.Sprintf("live-%s-%s", w.Name(), cfg.System))
+	r, err := buildRig(w, cfg, scope.Tracer())
 	if err != nil {
 		return LiveResult{}, err
 	}
@@ -82,8 +84,17 @@ func RunLive(w *Workload, cfg Config, opts LiveOptions) (LiveResult, error) {
 	if err != nil {
 		return LiveResult{}, err
 	}
+	scope.StartSampler(r.sim, r.diskProbes(), probe.SamplerSources{
+		BusUtil:   r.bus.Utilization,
+		Issued:    l.Issued,
+		Active:    l.Active,
+		HostCache: l.CacheCounters,
+	})
 	end := l.Replay(w.inner.Server)
 	res := collectResult(end, r, l.IssuedRequests)
+	if err := scope.Finish(); err != nil {
+		return LiveResult{}, fmt.Errorf("diskthru: telemetry: %w", err)
+	}
 	return LiveResult{
 		Result:             res,
 		ServerAccesses:     uint64(w.inner.Server.Len()),

@@ -1,0 +1,96 @@
+package diskthru
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"diskthru/internal/probe"
+)
+
+// The telemetry layer must be a pure observer: a run's every statistic is
+// bit-identical with tracing and metrics on or off (ISSUE: satellite 2).
+func TestTelemetryIsPureObserver(t *testing.T) {
+	w := syntheticFixture(t, 16)
+	for _, sys := range []System{Segm, FOR} {
+		cfg := testConfig().WithSystem(sys).WithHDC(512)
+
+		plain, err := Run(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var traceBuf, metricsBuf bytes.Buffer
+		cfg.Telemetry = probe.NewTelemetry(&traceBuf, &metricsBuf, 0.05)
+		traced, err := Run(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(plain, traced) {
+			t.Fatalf("%v: telemetry changed the result:\nplain:  %+v\ntraced: %+v",
+				sys, plain, traced)
+		}
+
+		// The exports themselves must be non-empty and well-formed.
+		lines := 0
+		sc := bufio.NewScanner(&traceBuf)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var rec probe.Record
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				t.Fatalf("%v: trace line %d: %v", sys, lines, err)
+			}
+			if rec.Outcome == "" {
+				t.Fatalf("%v: request %d completed without an outcome tag", sys, rec.ID)
+			}
+			lines++
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if uint64(lines) < traced.Requests {
+			t.Fatalf("%v: %d trace lines for %d requests", sys, lines, traced.Requests)
+		}
+		csv := metricsBuf.String()
+		if !strings.HasPrefix(csv, "run,time,disk,") {
+			t.Fatalf("%v: metrics CSV lacks header: %.60q", sys, csv)
+		}
+		if strings.Count(csv, "\n") < 2 {
+			t.Fatalf("%v: metrics CSV has no data rows", sys)
+		}
+	}
+}
+
+// SetDefaultTelemetry routes runs that carry no explicit Telemetry, and
+// an explicit one wins over the default.
+func TestDefaultTelemetryFallback(t *testing.T) {
+	w := syntheticFixture(t, 16)
+	var defBuf bytes.Buffer
+	SetDefaultTelemetry(probe.NewTelemetry(&defBuf, nil, 0))
+	defer SetDefaultTelemetry(nil)
+
+	if _, err := Run(w, testConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if defBuf.Len() == 0 {
+		t.Fatal("default telemetry captured nothing")
+	}
+
+	seen := defBuf.Len()
+	var ownBuf bytes.Buffer
+	cfg := testConfig()
+	cfg.Telemetry = probe.NewTelemetry(&ownBuf, nil, 0)
+	if _, err := Run(w, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if defBuf.Len() != seen {
+		t.Fatal("config-level telemetry leaked into the process default")
+	}
+	if ownBuf.Len() == 0 {
+		t.Fatal("config-level telemetry captured nothing")
+	}
+}

@@ -15,8 +15,13 @@ build:
 test:
 	$(GO) test ./...
 
+# -race covers the experiment worker pool: TestSerialParallelEquivalence
+# runs every driver's cells on an 8-worker pool, and the telemetry
+# isolation test runs concurrent replays on one shared Telemetry.
 race:
 	$(GO) test -race ./...
 
+# One pass over every benchmark at Quick scale; the parsed numbers land
+# in BENCH_quick.json for cross-commit comparison.
 bench:
-	$(GO) test -bench . -benchmem -run '^$$'
+	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_quick.json

@@ -1,0 +1,85 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON file mapping each benchmark to its measurements, so benchmark
+// numbers can be tracked across commits (see `make bench`, which writes
+// BENCH_quick.json):
+//
+//	go test -bench . -benchmem -run '^$' | benchjson -o BENCH_quick.json
+//
+// Every value/unit pair on a benchmark line is kept, so ns/op, B/op,
+// allocs/op and custom ReportMetric units (file%, web%, ...) all land in
+// the JSON. Input lines are echoed to stdout so the run stays readable.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches e.g.
+//
+//	BenchmarkTable2Summary-8   1   1236291691 ns/op   918161 allocs/op
+//
+// capturing the name (CPU suffix stripped), iteration count and the
+// trailing value/unit pairs.
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+func main() {
+	out := flag.String("o", "", "write the JSON here (default stdout)")
+	flag.Parse()
+
+	results := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		metrics := make(map[string]float64)
+		iters, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		metrics["iterations"] = iters
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[fields[i+1]] = v
+		}
+		results[m[1]] = metrics
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

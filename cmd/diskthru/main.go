@@ -40,6 +40,7 @@ func main() {
 		proxScale = flag.Float64("proxy-scale", 0, "override proxy workload scale")
 		fileScale = flag.Float64("file-scale", 0, "override file-server workload scale")
 		seed      = flag.Int64("seed", 0, "seed offset for replication runs")
+		jobs      = flag.Int("j", 0, "simulation cells run concurrently per experiment (0 = GOMAXPROCS; tables are identical at any value)")
 		timing    = flag.Bool("time", false, "print wall-clock time per experiment")
 		format    = flag.String("format", "text", "output format: text | csv")
 		tracePath = flag.String("trace", "", "write a per-request lifecycle trace (JSONL) to this file")
@@ -82,6 +83,7 @@ func main() {
 		opts.FileScale = *fileScale
 	}
 	opts.Seed = *seed
+	opts.Parallelism = *jobs
 
 	var names []string
 	switch {

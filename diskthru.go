@@ -321,6 +321,7 @@ func Run(w *Workload, cfg Config) (Result, error) {
 	if err := scope.Finish(); err != nil {
 		return res, fmt.Errorf("diskthru: telemetry: %w", err)
 	}
+	r.sim.Recycle() // hand the drained event queue to the next replay
 	return res, nil
 }
 

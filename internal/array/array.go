@@ -71,10 +71,16 @@ func (s Striper) Split(start int64, count int) []Run {
 	if count <= 0 {
 		return nil
 	}
-	var runs []Run
-	// last run index per disk, to merge adjacent revisits.
-	last := make([]int, s.Disks)
-	for i := range last {
+	return s.SplitAppend(nil, make([]int, s.Disks), start, count)
+}
+
+// SplitAppend is Split for hot paths: it appends the runs to dst and
+// returns the extended slice, using last (len >= Disks) as scratch for
+// the per-disk merge bookkeeping. Only runs appended by this call are
+// merged. Both slices can be reused across calls, so a replay loop
+// allocates nothing once they have grown to their working size.
+func (s Striper) SplitAppend(dst []Run, last []int, start int64, count int) []Run {
+	for i := 0; i < s.Disks; i++ {
 		last[i] = -1
 	}
 	logical := start
@@ -86,16 +92,16 @@ func (s Striper) Split(start int64, count int) []Run {
 		if n > remaining {
 			n = remaining
 		}
-		if li := last[disk]; li >= 0 && runs[li].PBA+int64(runs[li].Blocks) == pba {
-			runs[li].Blocks += n
+		if li := last[disk]; li >= 0 && dst[li].PBA+int64(dst[li].Blocks) == pba {
+			dst[li].Blocks += n
 		} else {
-			last[disk] = len(runs)
-			runs = append(runs, Run{Disk: disk, PBA: pba, Blocks: n, Logical: logical})
+			last[disk] = len(dst)
+			dst = append(dst, Run{Disk: disk, PBA: pba, Blocks: n, Logical: logical})
 		}
 		logical += int64(n)
 		remaining -= n
 	}
-	return runs
+	return dst
 }
 
 // BlocksOnDisk reports how many physical blocks of a volume with

@@ -197,7 +197,7 @@ type Disk struct {
 	sim *sim.Simulator
 	bus *bus.Bus
 
-	queue   sched.Queue
+	queue   sched.Queue[Request]
 	headCyl int
 	busy    bool
 
@@ -205,6 +205,15 @@ type Disk struct {
 	hdc   *cache.HDCRegion
 
 	stats Stats
+
+	// kick and mediaDone are pre-bound events so the dispatch loop
+	// schedules without allocating a closure per operation. The drive
+	// services one media operation at a time (the busy flag gates the
+	// chain), so a single inflight slot suffices.
+	kick          sim.Event
+	mediaDone     sim.Event
+	inflight      Request
+	inflightCount int
 
 	// tr is the injected lifecycle tracer (nil = tracing off); raOrigin
 	// maps read-ahead blocks not yet re-referenced to the request that
@@ -225,7 +234,7 @@ func New(s *sim.Simulator, b *bus.Bus, id int, cfg Config) (*Disk, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Disk{ID: id, cfg: cfg, sim: s, bus: b, queue: sched.New(cfg.Sched)}
+	d := &Disk{ID: id, cfg: cfg, sim: s, bus: b, queue: sched.New[Request](cfg.Sched)}
 	segBlocks := cfg.SegmentBytes / cfg.Geom.BlockSize
 	switch cfg.Org {
 	case OrgSegment:
@@ -244,6 +253,8 @@ func New(s *sim.Simulator, b *bus.Bus, id int, cfg Config) (*Disk, error) {
 		return nil, fmt.Errorf("disk: unknown cache organization %d", int(cfg.Org))
 	}
 	d.hdc = cache.NewHDCRegion(cfg.HDCBytes / cfg.Geom.BlockSize)
+	d.kick = func(sim.Time) { d.serviceNext() }
+	d.mediaDone = func(sim.Time) { d.finishMedia() }
 	if cfg.Tracer != nil {
 		d.tr = cfg.Tracer
 		d.raOrigin = make(map[int64]probe.RequestID)
@@ -431,10 +442,10 @@ func (d *Disk) enqueue(r Request) {
 		d.tr.Queued(r.trace, d.sim.Now())
 	}
 	cyl := d.cfg.Geom.BlockPos(r.PBA).Cylinder
-	d.queue.Push(sched.Request{Cyl: cyl, Payload: r})
+	d.queue.Push(sched.Request[Request]{Cyl: cyl, Payload: r})
 	if !d.busy {
 		d.busy = true
-		d.sim.After(0, func(sim.Time) { d.serviceNext() })
+		d.sim.After(0, d.kick)
 	}
 }
 
@@ -445,7 +456,7 @@ func (d *Disk) serviceNext() {
 		d.busy = false
 		return
 	}
-	r := item.Payload.(Request)
+	r := item.Payload
 	if d.tr != nil && r.trace != 0 {
 		d.tr.Dispatch(r.trace, d.sim.Now())
 	}
@@ -485,19 +496,27 @@ func (d *Disk) serviceNext() {
 		}
 	}
 
-	d.sim.After(d.cfg.CommandOverhead+acc.Total(), func(sim.Time) {
-		if r.Write {
-			d.touchRange(r.PBA, r.Blocks)
-			if r.Done != nil {
-				r.Done(d.sim.Now())
-			}
-		} else {
-			d.insertRead(r.PBA, count)
-			d.registerRA(r, count)
-			d.bus.Transfer(r.Blocks*d.cfg.Geom.BlockSize, r.Done)
+	d.inflight = r
+	d.inflightCount = count
+	d.sim.After(d.cfg.CommandOverhead+acc.Total(), d.mediaDone)
+}
+
+// finishMedia completes the in-flight media operation and services the
+// next queued request.
+func (d *Disk) finishMedia() {
+	r, count := d.inflight, d.inflightCount
+	d.inflight = Request{} // release the Done closure
+	if r.Write {
+		d.touchRange(r.PBA, r.Blocks)
+		if r.Done != nil {
+			r.Done(d.sim.Now())
 		}
-		d.serviceNext()
-	})
+	} else {
+		d.insertRead(r.PBA, count)
+		d.registerRA(r, count)
+		d.bus.Transfer(r.Blocks*d.cfg.Geom.BlockSize, r.Done)
+	}
+	d.serviceNext()
 }
 
 // readAheadCount decides how many blocks the media operation reads.

@@ -18,42 +18,37 @@ func AblationFOREviction(o Options) (*Table, error) {
 		XLabel:  "alpha",
 		Columns: []string{"FOR/MRU", "FOR/LRU"},
 	}
-	row := func(label string, w *diskthru.Workload, cfg diskthru.Config) error {
-		segm, err := diskthru.Run(w, cfg)
-		if err != nil {
-			return err
-		}
-		mru, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR))
-		if err != nil {
-			return err
-		}
+	r := newRunner(o)
+	type evictRow struct {
+		label           string
+		segm, mru, lru  *diskthru.Result
+	}
+	var rows []evictRow
+	addRow := func(label string, wr *workloadRef, cfg diskthru.Config) {
 		lruCfg := cfg.WithSystem(diskthru.FOR)
 		lruCfg.FOREvictLRU = true
-		lru, err := diskthru.Run(w, lruCfg)
-		if err != nil {
-			return err
-		}
-		t.AddRow(label, mru.IOTime/segm.IOTime, lru.IOTime/segm.IOTime)
-		return nil
+		rows = append(rows, evictRow{
+			label: label,
+			segm:  r.run(wr, cfg),
+			mru:   r.run(wr, cfg.WithSystem(diskthru.FOR)),
+			lru:   r.run(wr, lruCfg),
+		})
 	}
 	for _, alpha := range []float64{0.001, 0.4, 0.8, 1.0} {
-		w, err := synWorkload(o, 16, alpha, 0)
-		if err != nil {
-			return nil, err
-		}
-		if err := row(trimAlpha(alpha), w, baseConfig()); err != nil {
-			return nil, err
-		}
+		alpha := alpha
+		wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, alpha, 0) })
+		addRow(trimAlpha(alpha), wr, baseConfig())
 	}
 	// Shared sequential streaming is where the policies diverge: MRU's
 	// stream protection starves trailing readers of a shared file, while
 	// LRU preserves the paper's "at least as good as Segm" guarantee.
-	media, err := diskthru.MediaWorkload(o.WebScale)
-	if err != nil {
+	media := newWorkload(func() (*diskthru.Workload, error) { return diskthru.MediaWorkload(o.WebScale) })
+	addRow("media", media, diskthru.DefaultConfig())
+	if err := r.wait(); err != nil {
 		return nil, err
 	}
-	if err := row("media", media, diskthru.DefaultConfig()); err != nil {
-		return nil, err
+	for _, row := range rows {
+		t.AddRow(row.label, row.mru.IOTime/row.segm.IOTime, row.lru.IOTime/row.segm.IOTime)
 	}
 	t.Note("the media row uses the streaming workload; MRU regresses there because trailing readers of a shared file never hit")
 	return t, nil
@@ -65,28 +60,34 @@ func AblationScheduler(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	w, err := diskthru.WebWorkload(o.WebScale)
-	if err != nil {
-		return nil, err
-	}
+	wr := newWorkload(func() (*diskthru.Workload, error) { return diskthru.WebWorkload(o.WebScale) })
 	t := &Table{
 		ID:      "ablation-scheduler",
 		Title:   "Queue discipline on the Web workload: I/O time (s)",
 		XLabel:  "system",
 		Columns: []string{"LOOK", "FCFS", "SSTF", "C-LOOK"},
 	}
-	for _, sys := range []diskthru.System{diskthru.Segm, diskthru.FOR} {
-		values := make([]float64, 0, 4)
-		for _, sch := range []diskthru.Scheduler{diskthru.LOOK, diskthru.FCFS, diskthru.SSTF, diskthru.CLOOK} {
+	systems := []diskthru.System{diskthru.Segm, diskthru.FOR}
+	scheds := []diskthru.Scheduler{diskthru.LOOK, diskthru.FCFS, diskthru.SSTF, diskthru.CLOOK}
+	r := newRunner(o)
+	cells := make([][]*diskthru.Result, len(systems))
+	for i, sys := range systems {
+		cells[i] = make([]*diskthru.Result, len(scheds))
+		for j, sch := range scheds {
 			cfg := diskthru.DefaultConfig()
 			cfg.StripeKB = 16
 			cfg.System = sys
 			cfg.Scheduler = sch
-			r, err := diskthru.Run(w, cfg)
-			if err != nil {
-				return nil, err
-			}
-			values = append(values, r.IOTime)
+			cells[i][j] = r.run(wr, cfg)
+		}
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, sys := range systems {
+		values := make([]float64, len(scheds))
+		for j := range scheds {
+			values[j] = cells[i][j].IOTime
 		}
 		t.AddRow(sys.String(), values...)
 	}
@@ -101,24 +102,27 @@ func AblationCoalescing(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	w, err := synWorkload(o, 16, 0.4, 0)
-	if err != nil {
-		return nil, err
-	}
+	wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
 	t := &Table{
 		ID:      "ablation-coalescing",
 		Title:   "Coalescing probability on 16-KB synthetic: I/O time (s)",
 		XLabel:  "coalesce",
 		Columns: []string{"Segm", "No-RA", "FOR"},
 	}
-	for _, p := range []float64{0, 0.5, 0.87, 1.0} {
+	probs := []float64{0, 0.5, 0.87, 1.0}
+	r := newRunner(o)
+	rows := make([][]*diskthru.Result, len(probs))
+	for i, p := range probs {
 		cfg := baseConfig()
 		cfg.CoalesceProb = p
-		res, err := diskthru.Compare(w, cfg,
+		rows[i] = r.compare(wr, cfg,
 			[]diskthru.System{diskthru.Segm, diskthru.NoRA, diskthru.FOR})
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, p := range probs {
+		res := rows[i]
 		t.AddRow(fmt.Sprintf("%.2f", p),
 			res[0].IOTime, res[1].IOTime, res[2].IOTime)
 	}
@@ -133,26 +137,28 @@ func AblationHDCPlanner(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	w, err := diskthru.WebWorkload(o.WebScale)
-	if err != nil {
-		return nil, err
-	}
+	wr := newWorkload(func() (*diskthru.Workload, error) { return diskthru.WebWorkload(o.WebScale) })
 	t := &Table{
 		ID:      "ablation-hdc-planner",
 		Title:   "HDC planner on the Web workload (stripe=16KB, HDC=2MB)",
 		XLabel:  "planner",
 		Columns: []string{"I/O time (s)", "HDC hit%"},
 	}
-	for _, planner := range []diskthru.HDCPlanner{diskthru.PlannerPerfect, diskthru.PlannerHistory} {
+	planners := []diskthru.HDCPlanner{diskthru.PlannerPerfect, diskthru.PlannerHistory}
+	r := newRunner(o)
+	cells := make([]*diskthru.Result, len(planners))
+	for i, planner := range planners {
 		cfg := diskthru.DefaultConfig()
 		cfg.StripeKB = 16
 		cfg.HDCKB = scaleHDCKB(2048, o.WebScale)
 		cfg.Planner = planner
-		r, err := diskthru.Run(w, cfg)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(planner.String(), r.IOTime, r.HDCHitRate*100)
+		cells[i] = r.run(wr, cfg)
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, planner := range planners {
+		t.AddRow(planner.String(), cells[i].IOTime, cells[i].HDCHitRate*100)
 	}
 	return t, nil
 }
@@ -164,28 +170,30 @@ func AblationSegmentGeometry(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	w, err := synWorkload(o, 16, 0.4, 0)
-	if err != nil {
-		return nil, err
-	}
+	wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
 	t := &Table{
 		ID:      "ablation-segment-geometry",
 		Title:   "Segment geometry on 16-KB synthetic: I/O time (s)",
 		XLabel:  "geometry",
 		Columns: []string{"Segm", "FOR"},
 	}
-	for _, g := range []struct {
+	geoms := []struct {
 		kb, n int
-	}{{128, 27}, {256, 13}, {512, 6}} {
+	}{{128, 27}, {256, 13}, {512, 6}}
+	r := newRunner(o)
+	rows := make([][]*diskthru.Result, len(geoms))
+	for i, g := range geoms {
 		cfg := baseConfig()
 		cfg.SegmentKB = g.kb
 		cfg.MaxSegments = g.n
-		res, err := diskthru.Compare(w, cfg,
+		rows[i] = r.compare(wr, cfg,
 			[]diskthru.System{diskthru.Segm, diskthru.FOR})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("%dKBx%d", g.kb, g.n), res[0].IOTime, res[1].IOTime)
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, g := range geoms {
+		t.AddRow(fmt.Sprintf("%dKBx%d", g.kb, g.n), rows[i][0].IOTime, rows[i][1].IOTime)
 	}
 	t.Note("larger blind read-ahead units waste more transfer on small files; FOR is insensitive to the segment geometry")
 	return t, nil

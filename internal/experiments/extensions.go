@@ -19,17 +19,16 @@ func ExtRAID1(o Options) (*Table, error) {
 	}
 	// The mirrored configurations halve usable capacity, so this
 	// workload lays out on a 4-disk volume.
-	w, err := diskthru.SyntheticWorkload(diskthru.SyntheticOptions{
-		FileKB:        16,
-		Requests:      o.SynRequests,
-		ZipfAlpha:     0.8,
-		WriteFraction: 0.1,
-		Seed:          1 + o.Seed,
-		VolumeBlocks:  4 * 4718560,
+	wr := newWorkload(func() (*diskthru.Workload, error) {
+		return diskthru.SyntheticWorkload(diskthru.SyntheticOptions{
+			FileKB:        16,
+			Requests:      o.SynRequests,
+			ZipfAlpha:     0.8,
+			WriteFraction: 0.1,
+			Seed:          1 + o.Seed,
+			VolumeBlocks:  4 * 4718560,
+		})
 	})
-	if err != nil {
-		return nil, err
-	}
 	t := &Table{
 		ID:      "ext-raid1",
 		Title:   "RAID-1 mirroring and cooperative HDC (16-KB files, alpha=0.8, 10% writes)",
@@ -40,28 +39,26 @@ func ExtRAID1(o Options) (*Table, error) {
 	// Striped only: 4 disks so usable capacity matches the mirrored runs.
 	plain := base
 	plain.Disks = 4
-	r, err := diskthru.Run(w, plain)
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("4 disks striped", r.IOTime, r.HDCHitRate*100)
-
 	mirrored := base
 	mirrored.Disks = 8
 	mirrored.Mirrored = true
-	r, err = diskthru.Run(w, mirrored)
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("4x2 mirrored", r.IOTime, r.HDCHitRate*100)
-
 	coop := mirrored
 	coop.CoopHDC = true
-	r, err = diskthru.Run(w, coop)
-	if err != nil {
+	run := newRunner(o)
+	cells := []struct {
+		label string
+		res   *diskthru.Result
+	}{
+		{"4 disks striped", run.run(wr, plain)},
+		{"4x2 mirrored", run.run(wr, mirrored)},
+		{"4x2 coop-HDC", run.run(wr, coop)},
+	}
+	if err := run.wait(); err != nil {
 		return nil, err
 	}
-	t.AddRow("4x2 coop-HDC", r.IOTime, r.HDCHitRate*100)
+	for _, c := range cells {
+		t.AddRow(c.label, c.res.IOTime, c.res.HDCHitRate*100)
+	}
 	t.Note("mirroring adds a read replica per pair (reads balance, writes double); cooperative HDC doubles distinct pinned blocks")
 	return t, nil
 }
@@ -73,10 +70,7 @@ func ExtSyncCost(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	w, err := synWorkload(o, 16, 0.8, 0.3)
-	if err != nil {
-		return nil, err
-	}
+	wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.8, 0.3) })
 	t := &Table{
 		ID:      "ext-sync",
 		Title:   "Periodic flush_hdc cost (16-KB files, alpha=0.8, 30% writes, HDC=2MB)",
@@ -84,20 +78,22 @@ func ExtSyncCost(o Options) (*Table, error) {
 		Columns: []string{"I/O time (s)", "delta%"},
 	}
 	cfg := baseConfig().WithHDC(2048)
-	end, err := diskthru.Run(w, cfg)
-	if err != nil {
+	periods := []float64{30, 5, 1}
+	r := newRunner(o)
+	end := r.run(wr, cfg)
+	cells := make([]*diskthru.Result, len(periods))
+	for i, period := range periods {
+		c := cfg
+		c.SyncHDCSeconds = period
+		cells[i] = r.run(wr, c)
+	}
+	if err := r.wait(); err != nil {
 		return nil, err
 	}
 	t.AddRow("end-of-run only", end.IOTime, 0)
-	for _, period := range []float64{30, 5, 1} {
-		c := cfg
-		c.SyncHDCSeconds = period
-		r, err := diskthru.Run(w, c)
-		if err != nil {
-			return nil, err
-		}
+	for i, period := range periods {
 		t.AddRow(fmt.Sprintf("every %.0fs", period),
-			r.IOTime, (r.IOTime/end.IOTime-1)*100)
+			cells[i].IOTime, (cells[i].IOTime/end.IOTime-1)*100)
 	}
 	t.Note("paper section 6.1: 30-second periodic syncs cost < 1%% across all simulations")
 	return t, nil
@@ -111,37 +107,38 @@ func ExtIssueMode(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	w, err := synWorkload(o, 16, 0.4, 0)
-	if err != nil {
-		return nil, err
-	}
+	wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
 	t := &Table{
 		ID:      "ext-issue",
 		Title:   "FOR vs Segm under batched and sequential dispatch (16-KB files)",
 		XLabel:  "streams",
 		Columns: []string{"FOR (batched)", "FOR (sequential)"},
 	}
-	for _, streams := range []int{64, 256, 1024} {
+	streamCounts := []int{64, 256, 1024}
+	r := newRunner(o)
+	type issueRow struct{ batched, seq []*diskthru.Result }
+	rows := make([]issueRow, len(streamCounts))
+	for i, streams := range streamCounts {
 		cfg := baseConfig()
 		cfg.Streams = streams
 		// Uncoalesced block-at-a-time requests are where dispatch mode
 		// matters: sequential issue leaves a window between a stream's
 		// requests in which other streams can evict its segment.
 		cfg.CoalesceProb = 0
-		batched, err := diskthru.Compare(w, cfg,
+		rows[i].batched = r.compare(wr, cfg,
 			[]diskthru.System{diskthru.Segm, diskthru.FOR})
-		if err != nil {
-			return nil, err
-		}
 		cfg.SequentialIssue = true
-		seq, err := diskthru.Compare(w, cfg,
+		rows[i].seq = r.compare(wr, cfg,
 			[]diskthru.System{diskthru.Segm, diskthru.FOR})
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, streams := range streamCounts {
+		row := rows[i]
 		t.AddRow(fmt.Sprintf("%d", streams),
-			batched[1].IOTime/batched[0].IOTime,
-			seq[1].IOTime/seq[0].IOTime)
+			row.batched[1].IOTime/row.batched[0].IOTime,
+			row.seq[1].IOTime/row.seq[0].IOTime)
 	}
 	t.Note("values are FOR's I/O time normalized to Segm under the same dispatch mode; requests are uncoalesced (block at a time)")
 	return t, nil
@@ -164,7 +161,7 @@ func Validation(o Options) (*Table, error) {
 		Columns: []string{"simulated", "model", "error%"},
 	}
 	g := geom.Ultrastar36Z15()
-	for _, bench := range []struct {
+	benches := []struct {
 		name   string
 		write  bool
 		blocks int
@@ -173,31 +170,36 @@ func Validation(o Options) (*Table, error) {
 		{"16-KB random reads", false, 4},
 		{"4-KB random writes", true, 1},
 		{"16-KB random writes", true, 4},
-	} {
-		w, err := diskthru.SyntheticWorkload(diskthru.SyntheticOptions{
-			FileKB:        bench.blocks * 4,
-			Requests:      2000,
-			ZipfAlpha:     0.001, // uniform random placement
-			WriteFraction: boolTo01(bench.write),
-			Seed:          7 + o.Seed,
+	}
+	r := newRunner(o)
+	cells := make([]*diskthru.Result, len(benches))
+	for i, bench := range benches {
+		bench := bench
+		wr := newWorkload(func() (*diskthru.Workload, error) {
+			return diskthru.SyntheticWorkload(diskthru.SyntheticOptions{
+				FileKB:        bench.blocks * 4,
+				Requests:      2000,
+				ZipfAlpha:     0.001, // uniform random placement
+				WriteFraction: boolTo01(bench.write),
+				Seed:          7 + o.Seed,
+			})
 		})
-		if err != nil {
-			return nil, err
-		}
 		cfg := diskthru.DefaultConfig()
 		cfg.Streams = 8            // one outstanding op per disk: no LOOK shortening
 		cfg.CoalesceProb = 1       // whole-extent requests, one media op each
 		cfg.System = diskthru.NoRA // media op moves exactly the requested blocks
-		r, err := diskthru.Run(w, cfg)
-		if err != nil {
-			return nil, err
-		}
+		cells[i] = r.run(wr, cfg)
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, bench := range benches {
 		// Per-operation service time straight from the drive counters,
 		// excluding queueing; the model adds the same fixed command
 		// overhead the simulated controller charges.
 		var busy float64
 		var ops uint64
-		for _, d := range r.PerDisk {
+		for _, d := range cells[i].PerDisk {
 			busy += d.BusySeconds
 			ops += d.MediaOps
 		}
@@ -236,24 +238,26 @@ func ExtServers(o Options) (*Table, error) {
 		XLabel:  "server",
 		Columns: []string{"Segm", "FOR", "FOR/Segm"},
 	}
-	for _, b := range []struct {
+	builders := []struct {
 		name  string
 		build func() (*diskthru.Workload, error)
 	}{
 		{"mail", func() (*diskthru.Workload, error) { return diskthru.MailWorkload(o.WebScale) }},
 		{"media", func() (*diskthru.Workload, error) { return diskthru.MediaWorkload(o.WebScale) }},
 		{"oltp", func() (*diskthru.Workload, error) { return diskthru.OLTPWorkload(o.WebScale / 4) }},
-	} {
-		w, err := b.build()
-		if err != nil {
-			return nil, err
-		}
-		cfg := diskthru.DefaultConfig()
-		res, err := diskthru.Compare(w, cfg,
+	}
+	r := newRunner(o)
+	rows := make([][]*diskthru.Result, len(builders))
+	for i, b := range builders {
+		wr := newWorkload(b.build)
+		rows[i] = r.compare(wr, diskthru.DefaultConfig(),
 			[]diskthru.System{diskthru.Segm, diskthru.FOR})
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, b := range builders {
+		res := rows[i]
 		t.AddRow(b.name, res[0].IOTime, res[1].IOTime, res[1].IOTime/res[0].IOTime)
 	}
 	t.Note("FOR's gain is largest for random single-page OLTP traffic; on shared sequential streaming the paper's MRU eviction costs FOR a few percent (see ablation-for-eviction — LRU removes the regression)")
@@ -268,24 +272,27 @@ func ExtZoned(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	w, err := synWorkload(o, 16, 0.4, 0)
-	if err != nil {
-		return nil, err
-	}
+	wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
 	t := &Table{
 		ID:      "ext-zoned",
 		Title:   "Uniform vs zoned-bit-recording geometry (16-KB files)",
 		XLabel:  "geometry",
 		Columns: []string{"Segm", "FOR", "FOR/Segm"},
 	}
-	for _, zoned := range []bool{false, true} {
+	zonedModes := []bool{false, true}
+	r := newRunner(o)
+	rows := make([][]*diskthru.Result, len(zonedModes))
+	for i, zoned := range zonedModes {
 		cfg := baseConfig()
 		cfg.ZonedGeometry = zoned
-		res, err := diskthru.Compare(w, cfg,
+		rows[i] = r.compare(wr, cfg,
 			[]diskthru.System{diskthru.Segm, diskthru.FOR})
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, zoned := range zonedModes {
+		res := rows[i]
 		label := "uniform"
 		if zoned {
 			label = "zoned"
@@ -304,10 +311,7 @@ func ExtVictim(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	w, err := diskthru.WebWorkload(o.WebScale)
-	if err != nil {
-		return nil, err
-	}
+	wr := newWorkload(func() (*diskthru.Workload, error) { return diskthru.WebWorkload(o.WebScale) })
 	t := &Table{
 		ID:      "ext-victim",
 		Title:   "HDC as a victim cache (Web workload, live replay, stripe=16KB)",
@@ -319,7 +323,7 @@ func ExtVictim(o Options) (*Table, error) {
 		cacheMB = 1
 	}
 	hdcKB := scaleHDCKB(2048, o.WebScale)
-	for _, mode := range []struct {
+	modes := []struct {
 		label  string
 		hdcKB  int
 		victim bool
@@ -327,18 +331,24 @@ func ExtVictim(o Options) (*Table, error) {
 		{"no HDC", 0, false},
 		{"top-miss pin", hdcKB, false},
 		{"victim cache", hdcKB, true},
-	} {
+	}
+	r := newRunner(o)
+	cells := make([]*diskthru.LiveResult, len(modes))
+	for i, mode := range modes {
 		cfg := diskthru.DefaultConfig()
 		cfg.StripeKB = 16
 		cfg.HDCKB = mode.hdcKB
-		r, err := diskthru.RunLive(w, cfg, diskthru.LiveOptions{
+		cells[i] = r.runLive(wr, cfg, diskthru.LiveOptions{
 			BufferCacheMB: cacheMB,
 			VictimHDC:     mode.victim,
 		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(mode.label, r.IOTime, r.HDCHitRate*100, r.BufferCacheHitRate*100)
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, mode := range modes {
+		res := cells[i]
+		t.AddRow(mode.label, res.IOTime, res.HDCHitRate*100, res.BufferCacheHitRate*100)
 	}
 	t.Note("live replay simulates the buffer cache in the loop; victim insertions ship clean evictions to the controllers over the bus")
 	return t, nil
@@ -353,27 +363,30 @@ func ExtLatency(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	w, err := synWorkload(o, 16, 0.4, 0)
-	if err != nil {
-		return nil, err
-	}
+	wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
 	t := &Table{
 		ID:      "ext-latency",
 		Title:   "Open-loop response time (ms) vs arrival rate (16-KB records)",
 		XLabel:  "req/s",
 		Columns: []string{"Segm mean", "Segm p50", "Segm p95", "Segm p99", "FOR mean", "FOR p50", "FOR p95", "FOR p99"},
 	}
-	for _, rate := range []float64{200, 500, 800} {
+	rates := []float64{200, 500, 800}
+	r := newRunner(o)
+	type latRow struct{ segm, forr *diskthru.Result }
+	rows := make([]latRow, len(rates))
+	for i, rate := range rates {
 		cfg := baseConfig()
 		cfg.ArrivalRate = rate
-		segm, err := diskthru.Run(w, cfg)
-		if err != nil {
-			return nil, err
+		rows[i] = latRow{
+			segm: r.run(wr, cfg),
+			forr: r.run(wr, cfg.WithSystem(diskthru.FOR)),
 		}
-		forr, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR))
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, rate := range rates {
+		segm, forr := rows[i].segm, rows[i].forr
 		t.AddRow(fmt.Sprintf("%.0f", rate),
 			segm.Latency.Mean*1000, segm.Latency.P50*1000, segm.Latency.P95*1000, segm.Latency.P99*1000,
 			forr.Latency.Mean*1000, forr.Latency.P50*1000, forr.Latency.P95*1000, forr.Latency.P99*1000)
@@ -390,16 +403,15 @@ func ExtDegraded(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	w, err := diskthru.SyntheticWorkload(diskthru.SyntheticOptions{
-		FileKB:       16,
-		Requests:     o.SynRequests,
-		ZipfAlpha:    0.8,
-		Seed:         1 + o.Seed,
-		VolumeBlocks: 4 * 4718560,
+	wr := newWorkload(func() (*diskthru.Workload, error) {
+		return diskthru.SyntheticWorkload(diskthru.SyntheticOptions{
+			FileKB:       16,
+			Requests:     o.SynRequests,
+			ZipfAlpha:    0.8,
+			Seed:         1 + o.Seed,
+			VolumeBlocks: 4 * 4718560,
+		})
 	})
-	if err != nil {
-		return nil, err
-	}
 	t := &Table{
 		ID:      "ext-degraded",
 		Title:   "RAID-1 degraded operation (4x2 array, 16-KB files, alpha=0.8)",
@@ -409,20 +421,25 @@ func ExtDegraded(o Options) (*Table, error) {
 	base := baseConfig().WithHDC(1024)
 	base.Disks = 8
 	base.Mirrored = true
-	for _, mode := range []struct {
+	modes := []struct {
 		label string
 		fail  int
 	}{
 		{"healthy", 0},
 		{"disk 1 failed", 1},
-	} {
+	}
+	r := newRunner(o)
+	cells := make([]*diskthru.Result, len(modes))
+	for i, mode := range modes {
 		cfg := base
 		cfg.FailedDisk = mode.fail
-		r, err := diskthru.Run(w, cfg)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(mode.label, r.IOTime, r.HDCHitRate*100)
+		cells[i] = r.run(wr, cfg)
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, mode := range modes {
+		t.AddRow(mode.label, cells[i].IOTime, cells[i].HDCHitRate*100)
 	}
 	t.Note("the surviving replica of the failed pair serves all of its pair's reads; HDC hits on the survivor soften the degradation")
 	return t, nil
@@ -445,27 +462,28 @@ func ModelVsSim(o Options) (*Table, error) {
 	// FOR speedup bound (per-op service-time ratio, no cache effects):
 	// measured under single-outstanding-op conditions so queueing and
 	// reuse cannot interfere.
-	w, err := diskthru.SyntheticWorkload(diskthru.SyntheticOptions{
-		FileKB:    16,
-		Requests:  2000,
-		ZipfAlpha: 0.001,
-		Seed:      3 + o.Seed,
+	wr := newWorkload(func() (*diskthru.Workload, error) {
+		return diskthru.SyntheticWorkload(diskthru.SyntheticOptions{
+			FileKB:    16,
+			Requests:  2000,
+			ZipfAlpha: 0.001,
+			Seed:      3 + o.Seed,
+		})
 	})
-	if err != nil {
-		return nil, err
-	}
 	cfg := diskthru.DefaultConfig()
 	cfg.Streams = 8
 	cfg.CoalesceProb = 1
-	segm, err := diskthru.Run(w, cfg)
-	if err != nil {
+	r := newRunner(o)
+	segm := r.run(wr, cfg)
+	forr := r.run(wr, cfg.WithSystem(diskthru.FOR))
+	// The 4-KB measurement deliberately swallows errors into NaN, so it
+	// stays one cell rather than decomposing into error-carrying runs.
+	ratio4 := new(float64)
+	r.add(func() error { *ratio4 = perOpRatioFor4KB(o); return nil })
+	if err := r.wait(); err != nil {
 		return nil, err
 	}
-	forr, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR))
-	if err != nil {
-		return nil, err
-	}
-	perOp := func(r diskthru.Result) float64 {
+	perOp := func(r *diskthru.Result) float64 {
 		var busy float64
 		var ops uint64
 		for _, d := range r.PerDisk {
@@ -477,7 +495,7 @@ func ModelVsSim(o Options) (*Table, error) {
 	t.AddRow("FOR/Segm per-op ratio", model.FORSpeedupBound(g, 4, 32), perOp(forr)/perOp(segm))
 	t.AddRow("utilization reduction (4KB files)",
 		model.UtilizationReduction(g, 1, 32),
-		1-perOpRatioFor4KB(o))
+		1-*ratio4)
 	t.Note("model per-op ratios exclude command overhead and LOOK shortening; simulated values measured at one outstanding op per disk")
 	return t, nil
 }

@@ -1,6 +1,9 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // Options sizes the experiments. The paper's full scales are expensive
 // (millions of trace records); Defaults runs reduced-but-faithful scales
@@ -17,6 +20,19 @@ type Options struct {
 	FileScale  float64
 	// Seed offsets every generator seed, for replication studies.
 	Seed int64
+	// Parallelism bounds how many simulation cells a driver runs
+	// concurrently. Zero or negative means runtime.GOMAXPROCS(0);
+	// one forces the serial path. Every cell owns its own simulator
+	// and generators, so tables are byte-identical at any value.
+	Parallelism int
+}
+
+// parallelism resolves the worker-pool width.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Defaults are the scales the committed EXPERIMENTS.md numbers use.

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+// Every driver must render byte-identically whether its cells run on the
+// serial path or on a multi-worker pool — the determinism guarantee the
+// parallel runner advertises (each cell owns its own simulator and
+// seeded generators; rows are assembled in presentation order after all
+// cells finish). Running at Parallelism 8 under -race also exercises the
+// worker pool and the shared lazy workload construction.
+func TestSerialParallelEquivalence(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			serial := tiny()
+			serial.Parallelism = 1
+			st, err := Run(name, serial)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			par := tiny()
+			par.Parallelism = 8
+			pt, err := Run(name, par)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if st.String() != pt.String() {
+				t.Errorf("table differs between Parallelism=1 and Parallelism=8:\n--- serial ---\n%s\n--- parallel ---\n%s", st, pt)
+			}
+		})
+	}
+}

@@ -44,6 +44,21 @@ var registry = []struct {
 	{"ext-degraded", ExtDegraded},
 }
 
+// byName and sortedNames are derived from the registry once at init,
+// so Lookup is a map hit and errors reuse the pre-sorted name list.
+var (
+	byName      = make(map[string]Func, len(registry))
+	sortedNames []string
+)
+
+func init() {
+	for _, e := range registry {
+		byName[e.name] = e.fn
+	}
+	sortedNames = Names()
+	sort.Strings(sortedNames)
+}
+
 // Names lists all experiment names in presentation order.
 func Names() []string {
 	out := make([]string, len(registry))
@@ -55,14 +70,10 @@ func Names() []string {
 
 // Lookup finds a driver by name.
 func Lookup(name string) (Func, error) {
-	for _, e := range registry {
-		if e.name == name {
-			return e.fn, nil
-		}
+	if fn, ok := byName[name]; ok {
+		return fn, nil
 	}
-	known := Names()
-	sort.Strings(known)
-	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, known)
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, sortedNames)
 }
 
 // Run executes one experiment by name.

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"diskthru"
+)
+
+// The experiment drivers decompose into cells: one cell is one
+// independent simulation replay (a diskthru.Run, RunLive or a pure
+// computation) writing into a result slot the driver owns. Cells never
+// touch the Table; the driver enumerates all of them up front, the
+// runner executes them on a bounded worker pool, and the driver
+// assembles the rows in presentation order after wait returns. Each
+// cell owns its own simulator and seeded generators, so cell results —
+// and therefore the assembled tables — are byte-identical at any
+// parallelism.
+type runner struct {
+	par   int
+	cells []func() error
+}
+
+func newRunner(o Options) *runner { return &runner{par: o.parallelism()} }
+
+// add appends one cell. Cells must not read other cells' slots and must
+// not mutate anything shared except through a workloadRef.
+func (r *runner) add(fn func() error) { r.cells = append(r.cells, fn) }
+
+// workloadRef builds a workload lazily, exactly once, for the cells that
+// share it. Workloads are read-only during replay (bitmaps, rigs and
+// RNGs are per-run), so concurrent cells can share the built value.
+type workloadRef struct {
+	once  sync.Once
+	build func() (*diskthru.Workload, error)
+	w     *diskthru.Workload
+	err   error
+}
+
+func newWorkload(build func() (*diskthru.Workload, error)) *workloadRef {
+	return &workloadRef{build: build}
+}
+
+func (wr *workloadRef) get() (*diskthru.Workload, error) {
+	wr.once.Do(func() { wr.w, wr.err = wr.build() })
+	return wr.w, wr.err
+}
+
+// run appends a cell executing diskthru.Run and returns the slot the
+// result lands in. Read the slot only after wait returns nil.
+func (r *runner) run(wr *workloadRef, cfg diskthru.Config) *diskthru.Result {
+	res := new(diskthru.Result)
+	r.add(func() error {
+		w, err := wr.get()
+		if err != nil {
+			return err
+		}
+		v, err := diskthru.Run(w, cfg)
+		if err != nil {
+			return err
+		}
+		*res = v
+		return nil
+	})
+	return res
+}
+
+// compare is diskthru.Compare decomposed into one cell per system, with
+// the same per-system error wrapping.
+func (r *runner) compare(wr *workloadRef, base diskthru.Config, systems []diskthru.System) []*diskthru.Result {
+	out := make([]*diskthru.Result, len(systems))
+	for i, sys := range systems {
+		sys := sys
+		res := new(diskthru.Result)
+		r.add(func() error {
+			w, err := wr.get()
+			if err != nil {
+				return err
+			}
+			v, err := diskthru.Run(w, base.WithSystem(sys))
+			if err != nil {
+				return fmt.Errorf("%v: %w", sys, err)
+			}
+			*res = v
+			return nil
+		})
+		out[i] = res
+	}
+	return out
+}
+
+// runLive appends a cell executing diskthru.RunLive.
+func (r *runner) runLive(wr *workloadRef, cfg diskthru.Config, opts diskthru.LiveOptions) *diskthru.LiveResult {
+	res := new(diskthru.LiveResult)
+	r.add(func() error {
+		w, err := wr.get()
+		if err != nil {
+			return err
+		}
+		v, err := diskthru.RunLive(w, cfg, opts)
+		if err != nil {
+			return err
+		}
+		*res = v
+		return nil
+	})
+	return res
+}
+
+// wait executes the cells and blocks until all have finished or the
+// pool has drained after a failure. At parallelism <= 1 the cells run
+// serially in order on the calling goroutine. Otherwise min(par, cells)
+// workers pull cell indices from a shared counter — effectively work
+// stealing for a uniform task list — and the first error cancels the
+// remaining unstarted cells. When several in-flight cells fail, the one
+// with the smallest index wins, matching the serial path's choice for
+// any set of already-started cells.
+func (r *runner) wait() error {
+	n := len(r.cells)
+	par := r.par
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for _, c := range r.cells {
+			if err := c(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		stop   atomic.Bool
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errIdx = n
+		first  error
+	)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				if err := r.cells[i](); err != nil {
+					stop.Store(true)
+					mu.Lock()
+					if i < errIdx {
+						errIdx, first = i, err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

@@ -95,15 +95,23 @@ func Fig2(o Options) (*Table, error) {
 	}
 	var counts [3][]int
 	var totals [3]int
+	r := newRunner(o)
 	for i, k := range []serverKind{webServer, proxyServer, fileServer} {
-		w, err := buildServer(k, o)
-		if err != nil {
-			return nil, err
-		}
-		counts[i] = w.BlockAccessCounts(300000)
-		for _, c := range counts[i] {
-			totals[i] += c
-		}
+		i, k := i, k
+		r.add(func() error {
+			w, err := buildServer(k, o)
+			if err != nil {
+				return err
+			}
+			counts[i] = w.BlockAccessCounts(300000)
+			for _, c := range counts[i] {
+				totals[i] += c
+			}
+			return nil
+		})
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
 	}
 	// Zipf reference sized to the web trace's volume.
 	nBlocks := len(counts[0])
@@ -139,10 +147,7 @@ func serverStripingFigure(id string, k serverKind, o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	w, err := buildServer(k, o)
-	if err != nil {
-		return nil, err
-	}
+	wr := newWorkload(func() (*diskthru.Workload, error) { return buildServer(k, o) })
 	hdcKB := scaleHDCKB(2048, k.scaleOf(o))
 	t := &Table{
 		ID:      id,
@@ -150,27 +155,31 @@ func serverStripingFigure(id string, k serverKind, o Options) (*Table, error) {
 		XLabel:  "stripeKB",
 		Columns: []string{"Segm", "Segm+HDC", "FOR", "FOR+HDC"},
 	}
-	for _, stripe := range []int{4, 8, 16, 32, 64, 128, 256} {
+	stripes := []int{4, 8, 16, 32, 64, 128, 256}
+	r := newRunner(o)
+	type stripeRow struct{ segm, segmHDC, forr, forHDC *diskthru.Result }
+	rows := make([]stripeRow, len(stripes))
+	for i, stripe := range stripes {
 		cfg := diskthru.DefaultConfig()
 		cfg.StripeKB = stripe
-		segm, err := diskthru.Run(w, cfg)
-		if err != nil {
-			return nil, err
+		rows[i] = stripeRow{
+			segm:    r.run(wr, cfg),
+			segmHDC: r.run(wr, cfg.WithHDC(hdcKB)),
+			forr:    r.run(wr, cfg.WithSystem(diskthru.FOR)),
+			forHDC:  r.run(wr, cfg.WithSystem(diskthru.FOR).WithHDC(hdcKB)),
 		}
-		segmHDC, err := diskthru.Run(w, cfg.WithHDC(hdcKB))
-		if err != nil {
-			return nil, err
-		}
-		forr, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR))
-		if err != nil {
-			return nil, err
-		}
-		forHDC, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR).WithHDC(hdcKB))
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, stripe := range stripes {
+		row := rows[i]
 		t.AddRow(fmt.Sprintf("%d", stripe),
-			segm.IOTime, segmHDC.IOTime, forr.IOTime, forHDC.IOTime)
+			row.segm.IOTime, row.segmHDC.IOTime, row.forr.IOTime, row.forHDC.IOTime)
+	}
+	w, err := wr.get()
+	if err != nil {
+		return nil, err
 	}
 	t.Note("workload: %d disk-level records, %.0f%% writes; HDC scaled to %d KB/controller to preserve the paper's pinned fraction",
 		w.Records(), w.WriteFraction()*100, hdcKB)
@@ -198,10 +207,7 @@ func serverHDCSizeFigure(id string, k serverKind, o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	w, err := buildServer(k, o)
-	if err != nil {
-		return nil, err
-	}
+	wr := newWorkload(func() (*diskthru.Workload, error) { return buildServer(k, o) })
 	stripe := k.hdcSweepStripeKB()
 	t := &Table{
 		ID:      id,
@@ -209,26 +215,32 @@ func serverHDCSizeFigure(id string, k serverKind, o Options) (*Table, error) {
 		XLabel:  "hdcKB",
 		Columns: []string{"Segm+HDC", "FOR+HDC", "HDC hit%"},
 	}
-	for _, paperKB := range []int{0, 512, 1024, 1536, 2048, 2560, 3072} {
+	paperKBs := []int{0, 512, 1024, 1536, 2048, 2560, 3072}
+	r := newRunner(o)
+	type hdcRow struct{ segm, forr *diskthru.Result }
+	rows := make([]hdcRow, len(paperKBs))
+	for i, paperKB := range paperKBs {
 		hdcKB := 0
 		if paperKB > 0 {
 			hdcKB = scaleHDCKB(paperKB, k.scaleOf(o))
 		}
 		cfg := diskthru.DefaultConfig()
 		cfg.StripeKB = stripe
-		segm, err := diskthru.Run(w, cfg.WithHDC(hdcKB))
-		if err != nil {
-			return nil, err
-		}
-		forTime := math.NaN()
+		rows[i].segm = r.run(wr, cfg.WithHDC(hdcKB))
 		if paperKB <= maxFORHDCKB(cfg.CacheKB) {
-			forr, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR).WithHDC(hdcKB))
-			if err != nil {
-				return nil, err
-			}
-			forTime = forr.IOTime
+			rows[i].forr = r.run(wr, cfg.WithSystem(diskthru.FOR).WithHDC(hdcKB))
 		}
-		t.AddRow(fmt.Sprintf("%d", paperKB), segm.IOTime, forTime, segm.HDCHitRate*100)
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, paperKB := range paperKBs {
+		row := rows[i]
+		forTime := math.NaN()
+		if row.forr != nil {
+			forTime = row.forr.IOTime
+		}
+		t.AddRow(fmt.Sprintf("%d", paperKB), row.segm.IOTime, forTime, row.segm.HDCHitRate*100)
 	}
 	t.Note("HDC sizes on the X axis are paper-scale; actual pinned regions shrink with the workload scale to preserve the pinned fraction")
 	t.Note("FOR+HDC stops where the bitmap (576 KB) plus a minimum read-ahead store no longer fit the 4-MB controller memory")
@@ -261,33 +273,35 @@ func Table2(o Options) (*Table, error) {
 		proxyServer: {17, 18, 33},
 		fileServer:  {12, 10, 21},
 	}
-	for _, k := range []serverKind{webServer, proxyServer, fileServer} {
-		w, err := buildServer(k, o)
-		if err != nil {
-			return nil, err
-		}
+	kinds := []serverKind{webServer, proxyServer, fileServer}
+	r := newRunner(o)
+	type t2Row struct {
+		stripeKB                  int
+		segm, forr, segmHDC, forHDC *diskthru.Result
+	}
+	rows := make([]t2Row, len(kinds))
+	for i, k := range kinds {
+		k := k
+		wr := newWorkload(func() (*diskthru.Workload, error) { return buildServer(k, o) })
 		cfg := diskthru.DefaultConfig()
 		cfg.StripeKB = k.bestStripeKB()
 		hdcKB := scaleHDCKB(2048, k.scaleOf(o))
-		segm, err := diskthru.Run(w, cfg)
-		if err != nil {
-			return nil, err
+		rows[i] = t2Row{
+			stripeKB: cfg.StripeKB,
+			segm:     r.run(wr, cfg),
+			forr:     r.run(wr, cfg.WithSystem(diskthru.FOR)),
+			segmHDC:  r.run(wr, cfg.WithHDC(hdcKB)),
+			forHDC:   r.run(wr, cfg.WithSystem(diskthru.FOR).WithHDC(hdcKB)),
 		}
-		forr, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR))
-		if err != nil {
-			return nil, err
-		}
-		segmHDC, err := diskthru.Run(w, cfg.WithHDC(hdcKB))
-		if err != nil {
-			return nil, err
-		}
-		forHDC, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR).WithHDC(hdcKB))
-		if err != nil {
-			return nil, err
-		}
-		gain := func(r diskthru.Result) float64 { return (segm.IOTime/r.IOTime - 1) * 100 }
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, k := range kinds {
+		row := rows[i]
+		gain := func(r *diskthru.Result) float64 { return (row.segm.IOTime/r.IOTime - 1) * 100 }
 		t.AddRow(k.String(),
-			float64(cfg.StripeKB), gain(forr), gain(segmHDC), gain(forHDC))
+			float64(row.stripeKB), gain(row.forr), gain(row.segmHDC), gain(row.forHDC))
 		p := paper[k]
 		t.Note("%s paper: FOR %.0f%%, Segm+HDC %.0f%%, FOR+HDC %.0f%%", k, p[0], p[1], p[2])
 	}

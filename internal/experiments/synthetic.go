@@ -31,19 +31,36 @@ func Fig1(o Options) (*Table, error) {
 		Columns: []string{"32 blks", "16 blks", "8 blks", "4 blks", "2 blks"},
 	}
 	const filesPerPoint = 3000
+	var frags []float64
 	for frag := 0.0; frag <= 0.20+1e-9; frag += 0.025 {
-		values := make([]float64, len(sizes))
+		frags = append(frags, frag)
+	}
+	r := newRunner(o)
+	values := make([][]float64, len(frags))
+	for fi, frag := range frags {
+		frag := frag
+		values[fi] = make([]float64, len(sizes))
 		for i, size := range sizes {
-			l := fslayout.New(int64(filesPerPoint*size)*6 + 64)
-			rng := dist.NewRand(1000 + o.Seed + int64(size))
-			for f := 0; f < filesPerPoint; f++ {
-				if _, err := l.Alloc(size, frag, rng); err != nil {
-					return nil, err
+			i, size := i, size
+			row := values[fi]
+			r.add(func() error {
+				l := fslayout.New(int64(filesPerPoint*size)*6 + 64)
+				rng := dist.NewRand(1000 + o.Seed + int64(size))
+				for f := 0; f < filesPerPoint; f++ {
+					if _, err := l.Alloc(size, frag, rng); err != nil {
+						return err
+					}
 				}
-			}
-			values[i] = l.AvgSequentialRun()
+				row[i] = l.AvgSequentialRun()
+				return nil
+			})
 		}
-		t.AddRow(fmt.Sprintf("%.1f", frag*100), values...)
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for fi, frag := range frags {
+		t.AddRow(fmt.Sprintf("%.1f", frag*100), values[fi]...)
 	}
 	t.Note("closed form: n/(1+(n-1)p); 32 blks @ 5%% -> %.1f (paper: ~12)",
 		fslayout.ExpectedRun(32, 0.05))
@@ -74,16 +91,20 @@ func Fig3(o Options) (*Table, error) {
 		Columns: []string{"Segm", "Block", "No-RA", "FOR", "Segm secs"},
 	}
 	cfg := baseConfig()
-	for _, kb := range []int{4, 8, 16, 32, 48, 64, 96, 128} {
-		w, err := synWorkload(o, kb, 0.4, 0)
-		if err != nil {
-			return nil, err
-		}
-		res, err := diskthru.Compare(w, cfg,
+	kbs := []int{4, 8, 16, 32, 48, 64, 96, 128}
+	r := newRunner(o)
+	rows := make([][]*diskthru.Result, len(kbs))
+	for i, kb := range kbs {
+		kb := kb
+		wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, kb, 0.4, 0) })
+		rows[i] = r.compare(wr, cfg,
 			[]diskthru.System{diskthru.Segm, diskthru.Block, diskthru.NoRA, diskthru.FOR})
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, kb := range kbs {
+		res := rows[i]
 		base := res[0].IOTime
 		t.AddRow(fmt.Sprintf("%d", kb),
 			1.0, res[1].IOTime/base, res[2].IOTime/base, res[3].IOTime/base, base)
@@ -104,18 +125,21 @@ func Fig4(o Options) (*Table, error) {
 		XLabel:  "streams",
 		Columns: []string{"Segm", "Block", "FOR", "Segm secs"},
 	}
-	w, err := synWorkload(o, 16, 0.4, 0)
-	if err != nil {
-		return nil, err
-	}
-	for _, streams := range []int{64, 128, 256, 512, 768, 1024} {
+	wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
+	streamCounts := []int{64, 128, 256, 512, 768, 1024}
+	r := newRunner(o)
+	rows := make([][]*diskthru.Result, len(streamCounts))
+	for i, streams := range streamCounts {
 		cfg := baseConfig()
 		cfg.Streams = streams
-		res, err := diskthru.Compare(w, cfg,
+		rows[i] = r.compare(wr, cfg,
 			[]diskthru.System{diskthru.Segm, diskthru.Block, diskthru.FOR})
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, streams := range streamCounts {
+		res := rows[i]
 		base := res[0].IOTime
 		t.AddRow(fmt.Sprintf("%d", streams),
 			1.0, res[1].IOTime/base, res[2].IOTime/base, base)
@@ -136,32 +160,30 @@ func Fig5(o Options) (*Table, error) {
 		XLabel:  "alpha",
 		Columns: []string{"Segm", "Segm+HDC", "FOR", "FOR+HDC", "HDC hit%"},
 	}
-	for _, alpha := range []float64{0.001, 0.2, 0.4, 0.6, 0.8, 1.0} {
-		w, err := synWorkload(o, 16, alpha, 0)
-		if err != nil {
-			return nil, err
-		}
+	alphas := []float64{0.001, 0.2, 0.4, 0.6, 0.8, 1.0}
+	r := newRunner(o)
+	type fig5Row struct{ segm, segmHDC, forr, forHDC *diskthru.Result }
+	rows := make([]fig5Row, len(alphas))
+	for i, alpha := range alphas {
+		alpha := alpha
+		wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, alpha, 0) })
 		cfg := baseConfig()
-		segm, err := diskthru.Run(w, cfg)
-		if err != nil {
-			return nil, err
+		rows[i] = fig5Row{
+			segm:    r.run(wr, cfg),
+			segmHDC: r.run(wr, cfg.WithHDC(2048)),
+			forr:    r.run(wr, cfg.WithSystem(diskthru.FOR)),
+			forHDC:  r.run(wr, cfg.WithSystem(diskthru.FOR).WithHDC(2048)),
 		}
-		segmHDC, err := diskthru.Run(w, cfg.WithHDC(2048))
-		if err != nil {
-			return nil, err
-		}
-		forr, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR))
-		if err != nil {
-			return nil, err
-		}
-		forHDC, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR).WithHDC(2048))
-		if err != nil {
-			return nil, err
-		}
-		base := segm.IOTime
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, alpha := range alphas {
+		row := rows[i]
+		base := row.segm.IOTime
 		t.AddRow(trimAlpha(alpha),
-			1.0, segmHDC.IOTime/base, forr.IOTime/base, forHDC.IOTime/base,
-			segmHDC.HDCHitRate*100)
+			1.0, row.segmHDC.IOTime/base, row.forr.IOTime/base, row.forHDC.IOTime/base,
+			row.segmHDC.HDCHitRate*100)
 	}
 	t.Note("paper: HDC gains ~10%% for alpha<=0.6 rising to 28%% (Segm) / 31%% (FOR) at alpha=1; hit rate reaches 56%%")
 	return t, nil
@@ -186,31 +208,29 @@ func Fig6(o Options) (*Table, error) {
 		XLabel:  "writes",
 		Columns: []string{"Segm", "Segm+HDC", "FOR", "FOR+HDC"},
 	}
-	for _, wf := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6} {
-		w, err := synWorkload(o, 16, 0.4, wf)
-		if err != nil {
-			return nil, err
-		}
+	wfs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	r := newRunner(o)
+	type fig6Row struct{ segm, segmHDC, forr, forHDC *diskthru.Result }
+	rows := make([]fig6Row, len(wfs))
+	for i, wf := range wfs {
+		wf := wf
+		wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, wf) })
 		cfg := baseConfig()
-		segm, err := diskthru.Run(w, cfg)
-		if err != nil {
-			return nil, err
+		rows[i] = fig6Row{
+			segm:    r.run(wr, cfg),
+			segmHDC: r.run(wr, cfg.WithHDC(2048)),
+			forr:    r.run(wr, cfg.WithSystem(diskthru.FOR)),
+			forHDC:  r.run(wr, cfg.WithSystem(diskthru.FOR).WithHDC(2048)),
 		}
-		segmHDC, err := diskthru.Run(w, cfg.WithHDC(2048))
-		if err != nil {
-			return nil, err
-		}
-		forr, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR))
-		if err != nil {
-			return nil, err
-		}
-		forHDC, err := diskthru.Run(w, cfg.WithSystem(diskthru.FOR).WithHDC(2048))
-		if err != nil {
-			return nil, err
-		}
-		base := segm.IOTime
+	}
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	for i, wf := range wfs {
+		row := rows[i]
+		base := row.segm.IOTime
 		t.AddRow(fmt.Sprintf("%.1f", wf),
-			1.0, segmHDC.IOTime/base, forr.IOTime/base, forHDC.IOTime/base)
+			1.0, row.segmHDC.IOTime/base, row.forr.IOTime/base, row.forHDC.IOTime/base)
 	}
 	t.Note("paper: FOR improvement drops from 39%% to 19%% as writes grow 0->60%%; FOR+HDC from 46%% to 28%%")
 	return t, nil

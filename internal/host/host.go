@@ -115,6 +115,17 @@ type Host struct {
 	active      int
 	openPending int
 
+	// streams holds the closed-loop per-stream replay state. Each stream
+	// owns a reusable sub-request buffer and a pre-bound completion
+	// event, so steady-state replay allocates nothing per record.
+	streams []stream
+	// runBuf and lastBuf are scratch for striper.SplitAppend; openBuf is
+	// the open-loop sub-request buffer (requests are consumed at arrival
+	// time, so one buffer serves every record).
+	runBuf  []array.Run
+	lastBuf []int
+	openBuf []subRequest
+
 	// lastCompletion tracks when the last host-visible operation (record
 	// or end-of-run flush) finished; this is the reported makespan.
 	// Background sync ticks may leave the simulator clock beyond it.
@@ -161,6 +172,36 @@ func New(s *sim.Simulator, disks []*disk.Disk, striper array.Striper, layout *fs
 	}, nil
 }
 
+// stream is one closed-loop replay stream: the record it is working on,
+// its sub-requests, and a pre-bound completion event shared by all of
+// them, so advancing through the trace allocates nothing per record.
+type stream struct {
+	h         *Host
+	rec       trace.Record
+	reqs      []subRequest
+	next      int // next sub-request to issue (sequential mode)
+	remaining int // outstanding sub-requests (batched mode)
+	done      sim.Event
+}
+
+// onDone advances the stream when one of its sub-requests completes.
+func (st *stream) onDone(sim.Time) {
+	if st.h.cfg.Issue == IssueSequential {
+		if st.next < len(st.reqs) {
+			r := st.reqs[st.next]
+			st.next++
+			st.h.submit(st.rec, r, st.done)
+			return
+		}
+		st.h.startNext(st)
+		return
+	}
+	st.remaining--
+	if st.remaining == 0 {
+		st.h.startNext(st)
+	}
+}
+
 // Replay runs the whole trace and returns the makespan (the paper's
 // "I/O time" for the workload): the completion time of the last record
 // or, with FlushHDCAtEnd, of the final flush. Idle background sync
@@ -177,9 +218,13 @@ func (h *Host) Replay(t *trace.Trace) sim.Time {
 	if streams > len(h.records) {
 		streams = len(h.records)
 	}
-	for i := 0; i < streams; i++ {
+	h.streams = make([]stream, streams)
+	for i := range h.streams {
+		st := &h.streams[i]
+		st.h = h
+		st.done = st.onDone
 		h.active++
-		h.startNext()
+		h.startNext(st)
 	}
 	if h.cfg.SyncHDCEvery > 0 {
 		h.scheduleSync()
@@ -201,7 +246,10 @@ func (h *Host) replayOpenLoop() sim.Time {
 		at += arrivals.ExpFloat64() / h.cfg.ArrivalRate
 		arrival := at
 		h.sim.At(at, func(sim.Time) {
-			reqs := h.buildRequests(rec)
+			// Requests are all submitted before this event returns, so the
+			// shared open-loop buffer can be reused by the next arrival.
+			reqs := h.buildRequestsInto(h.openBuf[:0], rec)
+			h.openBuf = reqs[:0]
 			if len(reqs) == 0 {
 				h.openRetire()
 				return
@@ -273,7 +321,7 @@ func (h *Host) stamp(now sim.Time) {
 }
 
 // startNext advances one stream to its next trace record.
-func (h *Host) startNext() {
+func (h *Host) startNext(st *stream) {
 	for {
 		if h.cursor >= len(h.records) {
 			h.active--
@@ -284,43 +332,22 @@ func (h *Host) startNext() {
 		}
 		rec := h.records[h.cursor]
 		h.cursor++
-		reqs := h.buildRequests(rec)
-		if len(reqs) == 0 {
+		st.reqs = h.buildRequestsInto(st.reqs[:0], rec)
+		if len(st.reqs) == 0 {
 			continue // record clamped to nothing; take the next one
 		}
+		st.rec = rec
 		if h.cfg.Issue == IssueSequential {
-			h.issueSequential(rec, reqs, 0)
+			st.next = 1
+			h.submit(rec, st.reqs[0], st.done)
 		} else {
-			h.issueAll(rec, reqs)
+			st.remaining = len(st.reqs)
+			for _, r := range st.reqs {
+				h.submit(rec, r, st.done)
+			}
 		}
 		return
 	}
-}
-
-// issueAll dispatches every sub-request at once and advances the stream
-// when the last one completes.
-func (h *Host) issueAll(rec trace.Record, reqs []subRequest) {
-	remaining := len(reqs)
-	done := func(sim.Time) {
-		remaining--
-		if remaining == 0 {
-			h.startNext()
-		}
-	}
-	for _, r := range reqs {
-		h.submit(rec, r, done)
-	}
-}
-
-// issueSequential dispatches sub-requests one at a time.
-func (h *Host) issueSequential(rec trace.Record, reqs []subRequest, i int) {
-	h.submit(rec, reqs[i], func(sim.Time) {
-		if i+1 < len(reqs) {
-			h.issueSequential(rec, reqs, i+1)
-			return
-		}
-		h.startNext()
-	})
 }
 
 // failed reports whether physical disk i is marked down.
@@ -393,22 +420,26 @@ type subRequest struct {
 	blocks int
 }
 
-// buildRequests turns one trace record into per-disk requests:
-// file blocks -> logical runs (fragmentation) -> per-disk physical runs
-// (striping) -> issued requests (probabilistic coalescing).
-func (h *Host) buildRequests(rec trace.Record) []subRequest {
+// buildRequestsInto turns one trace record into per-disk requests,
+// appending to dst: file blocks -> logical runs (fragmentation) ->
+// per-disk physical runs (striping) -> issued requests (probabilistic
+// coalescing). The striping scratch buffers live on the Host — the
+// simulation is single-threaded, so one set serves every caller.
+func (h *Host) buildRequestsInto(dst []subRequest, rec trace.Record) []subRequest {
 	blocks := h.layout.FileBlocks(int(rec.File))
 	lo := int(rec.Offset)
 	hi := lo + int(rec.Blocks)
 	if lo >= len(blocks) {
-		return nil
+		return dst
 	}
 	if hi > len(blocks) {
 		hi = len(blocks)
 	}
 	window := blocks[lo:hi]
 
-	var reqs []subRequest
+	if h.lastBuf == nil {
+		h.lastBuf = make([]int, h.striper.Disks)
+	}
 	// Walk maximal logically-contiguous runs of the accessed window.
 	i := 0
 	for i < len(window) {
@@ -416,12 +447,13 @@ func (h *Host) buildRequests(rec trace.Record) []subRequest {
 		for j < len(window) && window[j] == window[j-1]+1 {
 			j++
 		}
-		for _, run := range h.striper.Split(window[i], j-i) {
-			reqs = h.splitForCoalescing(reqs, run)
+		h.runBuf = h.striper.SplitAppend(h.runBuf[:0], h.lastBuf, window[i], j-i)
+		for _, run := range h.runBuf {
+			dst = h.splitForCoalescing(dst, run)
 		}
 		i = j
 	}
-	return reqs
+	return dst
 }
 
 // splitForCoalescing cuts a physically contiguous run at each internal

@@ -3,6 +3,7 @@ package probe
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"diskthru/internal/sim"
 )
@@ -10,13 +11,17 @@ import (
 // Telemetry coordinates export across the runs of a process: it owns the
 // trace and metrics destinations, hands each simulation run a RunScope,
 // and serializes the per-run buffers into the shared writers. Either
-// writer may be nil to disable that export. Telemetry is not safe for
-// concurrent runs; the experiment drivers run sequentially.
+// writer may be nil to disable that export. Runs may execute
+// concurrently: each RunScope buffers its own events, and the shared
+// run counter and writers are mutex-guarded, so a scope only ever
+// carries its own run's records. With concurrent runs the r### sequence
+// numbers reflect start order, which is no longer the registry order.
 type Telemetry struct {
 	traceW   io.Writer
 	metricsW io.Writer
 	interval float64
 
+	mu          sync.Mutex
 	runSeq      int
 	wroteHeader bool
 }
@@ -51,8 +56,11 @@ func (t *Telemetry) StartRun(label string) *RunScope {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
 	t.runSeq++
-	rs := &RunScope{tel: t, run: fmt.Sprintf("r%03d-%s", t.runSeq, label)}
+	seq := t.runSeq
+	t.mu.Unlock()
+	rs := &RunScope{tel: t, run: fmt.Sprintf("r%03d-%s", seq, label)}
 	if t.traceW != nil {
 		rs.rec = NewRecorder(rs.run)
 	}
@@ -80,11 +88,14 @@ func (rs *RunScope) StartSampler(sm *sim.Simulator, disks []DiskProbe, src Sampl
 }
 
 // Finish flushes the run's buffered trace records and metrics rows to
-// the coordinator's writers.
+// the coordinator's writers. The flush holds the coordinator lock so
+// concurrent runs never interleave records within the shared streams.
 func (rs *RunScope) Finish() error {
 	if rs == nil {
 		return nil
 	}
+	rs.tel.mu.Lock()
+	defer rs.tel.mu.Unlock()
 	if rs.rec != nil {
 		if err := rs.rec.WriteJSONL(rs.tel.traceW); err != nil {
 			return err

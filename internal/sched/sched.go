@@ -7,21 +7,23 @@ import "fmt"
 
 // Request is the unit a scheduler orders: an opaque payload bound for a
 // target cylinder.
-type Request struct {
+type Request[P any] struct {
 	Cyl     int
-	Payload any
+	Payload P
 
 	seq uint64 // arrival order, for stable tie-breaking
 }
 
-// Queue is a disk-request scheduling discipline. Implementations are not
+// Queue is a disk-request scheduling discipline, generic over the
+// payload so enqueueing never boxes it onto the heap (the disk dispatch
+// loop pushes one request per media operation). Implementations are not
 // safe for concurrent use; the simulator is single-threaded by design.
-type Queue interface {
+type Queue[P any] interface {
 	// Push adds a request to the queue.
-	Push(Request)
+	Push(Request[P])
 	// Next removes and returns the request to service next given the
 	// current head cylinder. ok is false when the queue is empty.
-	Next(headCyl int) (r Request, ok bool)
+	Next(headCyl int) (r Request[P], ok bool)
 	// Len reports the number of queued requests.
 	Len() int
 	// Name identifies the discipline (e.g. "LOOK").
@@ -60,16 +62,16 @@ func (p Policy) String() string {
 }
 
 // New returns an empty queue implementing the policy.
-func New(p Policy) Queue {
+func New[P any](p Policy) Queue[P] {
 	switch p {
 	case LOOK:
-		return &lookQueue{up: true}
+		return &lookQueue[P]{up: true}
 	case FCFS:
-		return &fcfsQueue{}
+		return &fcfsQueue[P]{}
 	case SSTF:
-		return &sstfQueue{}
+		return &sstfQueue[P]{}
 	case CLOOK:
-		return &clookQueue{}
+		return &clookQueue[P]{}
 	default:
 		panic(fmt.Sprintf("sched: unknown policy %d", int(p)))
 	}
@@ -80,12 +82,12 @@ func New(p Policy) Queue {
 // sortedQueue keeps requests ordered by (cylinder, arrival seq). Queue
 // depths are bounded by the number of concurrent streams (<= ~1K), so
 // linear insertion is cheap and keeps the code obvious.
-type sortedQueue struct {
-	items []Request
+type sortedQueue[P any] struct {
+	items []Request[P]
 	next  uint64
 }
 
-func (q *sortedQueue) push(r Request) {
+func (q *sortedQueue[P]) push(r Request[P]) {
 	r.seq = q.next
 	q.next++
 	i := len(q.items)
@@ -96,20 +98,23 @@ func (q *sortedQueue) push(r Request) {
 		}
 		i--
 	}
-	q.items = append(q.items, Request{})
+	q.items = append(q.items, Request[P]{})
 	copy(q.items[i+1:], q.items[i:])
 	q.items[i] = r
 }
 
-func (q *sortedQueue) removeAt(i int) Request {
+func (q *sortedQueue[P]) removeAt(i int) Request[P] {
 	r := q.items[i]
-	q.items = append(q.items[:i], q.items[i+1:]...)
+	n := len(q.items) - 1
+	copy(q.items[i:], q.items[i+1:])
+	q.items[n] = Request[P]{} // release the payload
+	q.items = q.items[:n]
 	return r
 }
 
 // firstAtOrAbove returns the index of the first request with Cyl >= c,
 // or len(items) if none.
-func (q *sortedQueue) firstAtOrAbove(c int) int {
+func (q *sortedQueue[P]) firstAtOrAbove(c int) int {
 	lo, hi := 0, len(q.items)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -124,18 +129,18 @@ func (q *sortedQueue) firstAtOrAbove(c int) int {
 
 // ---- LOOK ----------------------------------------------------------------
 
-type lookQueue struct {
-	sortedQueue
+type lookQueue[P any] struct {
+	sortedQueue[P]
 	up bool
 }
 
-func (q *lookQueue) Name() string   { return "LOOK" }
-func (q *lookQueue) Len() int       { return len(q.items) }
-func (q *lookQueue) Push(r Request) { q.push(r) }
+func (q *lookQueue[P]) Name() string      { return "LOOK" }
+func (q *lookQueue[P]) Len() int          { return len(q.items) }
+func (q *lookQueue[P]) Push(r Request[P]) { q.push(r) }
 
-func (q *lookQueue) Next(head int) (Request, bool) {
+func (q *lookQueue[P]) Next(head int) (Request[P], bool) {
 	if len(q.items) == 0 {
-		return Request{}, false
+		return Request[P]{}, false
 	}
 	if q.up {
 		if i := q.firstAtOrAbove(head); i < len(q.items) {
@@ -153,41 +158,47 @@ func (q *lookQueue) Next(head int) (Request, bool) {
 		q.up = true
 		return q.removeAt(0), true
 	}
-	return Request{}, false
+	return Request[P]{}, false
 }
 
 // ---- FCFS ----------------------------------------------------------------
 
-type fcfsQueue struct {
-	items []Request
+type fcfsQueue[P any] struct {
+	items []Request[P]
+	head  int
 }
 
-func (q *fcfsQueue) Name() string   { return "FCFS" }
-func (q *fcfsQueue) Len() int       { return len(q.items) }
-func (q *fcfsQueue) Push(r Request) { q.items = append(q.items, r) }
+func (q *fcfsQueue[P]) Name() string      { return "FCFS" }
+func (q *fcfsQueue[P]) Len() int          { return len(q.items) - q.head }
+func (q *fcfsQueue[P]) Push(r Request[P]) { q.items = append(q.items, r) }
 
-func (q *fcfsQueue) Next(int) (Request, bool) {
-	if len(q.items) == 0 {
-		return Request{}, false
+func (q *fcfsQueue[P]) Next(int) (Request[P], bool) {
+	if q.head == len(q.items) {
+		return Request[P]{}, false
 	}
-	r := q.items[0]
-	q.items = q.items[1:]
+	r := q.items[q.head]
+	q.items[q.head] = Request[P]{} // release the payload
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	return r, true
 }
 
 // ---- SSTF ----------------------------------------------------------------
 
-type sstfQueue struct {
-	sortedQueue
+type sstfQueue[P any] struct {
+	sortedQueue[P]
 }
 
-func (q *sstfQueue) Name() string   { return "SSTF" }
-func (q *sstfQueue) Len() int       { return len(q.items) }
-func (q *sstfQueue) Push(r Request) { q.push(r) }
+func (q *sstfQueue[P]) Name() string      { return "SSTF" }
+func (q *sstfQueue[P]) Len() int          { return len(q.items) }
+func (q *sstfQueue[P]) Push(r Request[P]) { q.push(r) }
 
-func (q *sstfQueue) Next(head int) (Request, bool) {
+func (q *sstfQueue[P]) Next(head int) (Request[P], bool) {
 	if len(q.items) == 0 {
-		return Request{}, false
+		return Request[P]{}, false
 	}
 	i := q.firstAtOrAbove(head)
 	// Candidates are items[i] (first at/above) and items[i-1] (last below).
@@ -208,17 +219,17 @@ func (q *sstfQueue) Next(head int) (Request, bool) {
 
 // ---- C-LOOK ---------------------------------------------------------------
 
-type clookQueue struct {
-	sortedQueue
+type clookQueue[P any] struct {
+	sortedQueue[P]
 }
 
-func (q *clookQueue) Name() string   { return "C-LOOK" }
-func (q *clookQueue) Len() int       { return len(q.items) }
-func (q *clookQueue) Push(r Request) { q.push(r) }
+func (q *clookQueue[P]) Name() string      { return "C-LOOK" }
+func (q *clookQueue[P]) Len() int          { return len(q.items) }
+func (q *clookQueue[P]) Push(r Request[P]) { q.push(r) }
 
-func (q *clookQueue) Next(head int) (Request, bool) {
+func (q *clookQueue[P]) Next(head int) (Request[P], bool) {
 	if len(q.items) == 0 {
-		return Request{}, false
+		return Request[P]{}, false
 	}
 	if i := q.firstAtOrAbove(head); i < len(q.items) {
 		return q.removeAt(i), true

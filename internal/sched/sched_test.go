@@ -8,7 +8,7 @@ import (
 
 var allPolicies = []Policy{LOOK, FCFS, SSTF, CLOOK}
 
-func drain(q Queue, head int) []int {
+func drain(q Queue[int], head int) []int {
 	var cyls []int
 	for {
 		r, ok := q.Next(head)
@@ -26,7 +26,7 @@ func TestPolicyNames(t *testing.T) {
 		if p.String() != name {
 			t.Errorf("Policy.String() = %q, want %q", p.String(), name)
 		}
-		if q := New(p); q.Name() != name {
+		if q := New[int](p); q.Name() != name {
 			t.Errorf("queue name = %q, want %q", q.Name(), name)
 		}
 	}
@@ -38,12 +38,12 @@ func TestNewUnknownPolicyPanics(t *testing.T) {
 			t.Fatal("unknown policy did not panic")
 		}
 	}()
-	New(Policy(99))
+	New[int](Policy(99))
 }
 
 func TestEmptyQueues(t *testing.T) {
 	for _, p := range allPolicies {
-		q := New(p)
+		q := New[int](p)
 		if q.Len() != 0 {
 			t.Errorf("%v: fresh Len = %d", p, q.Len())
 		}
@@ -54,23 +54,23 @@ func TestEmptyQueues(t *testing.T) {
 }
 
 func TestFCFSPreservesArrivalOrder(t *testing.T) {
-	q := New(FCFS)
+	q := New[int](FCFS)
 	in := []int{50, 10, 90, 10, 30}
 	for i, c := range in {
-		q.Push(Request{Cyl: c, Payload: i})
+		q.Push(Request[int]{Cyl: c, Payload: i})
 	}
 	for i := range in {
 		r, ok := q.Next(0)
-		if !ok || r.Payload.(int) != i {
+		if !ok || r.Payload != i {
 			t.Fatalf("FCFS pop %d = %v ok=%v", i, r.Payload, ok)
 		}
 	}
 }
 
 func TestLOOKSweepUpThenDown(t *testing.T) {
-	q := New(LOOK)
+	q := New[int](LOOK)
 	for _, c := range []int{10, 80, 40, 95, 20} {
-		q.Push(Request{Cyl: c})
+		q.Push(Request[int]{Cyl: c})
 	}
 	// Head at 35 sweeping up: 40, 80, 95, then reverse: 20, 10.
 	got := drain(q, 35)
@@ -83,9 +83,9 @@ func TestLOOKSweepUpThenDown(t *testing.T) {
 }
 
 func TestLOOKReversesWhenNothingAhead(t *testing.T) {
-	q := New(LOOK)
-	q.Push(Request{Cyl: 5})
-	q.Push(Request{Cyl: 3})
+	q := New[int](LOOK)
+	q.Push(Request[int]{Cyl: 5})
+	q.Push(Request[int]{Cyl: 3})
 	got := drain(q, 100)
 	if got[0] != 5 || got[1] != 3 {
 		t.Fatalf("LOOK downward sweep = %v, want [5 3]", got)
@@ -93,22 +93,22 @@ func TestLOOKReversesWhenNothingAhead(t *testing.T) {
 }
 
 func TestLOOKSameCylinderFIFO(t *testing.T) {
-	q := New(LOOK)
+	q := New[int](LOOK)
 	for i := 0; i < 5; i++ {
-		q.Push(Request{Cyl: 42, Payload: i})
+		q.Push(Request[int]{Cyl: 42, Payload: i})
 	}
 	for i := 0; i < 5; i++ {
 		r, _ := q.Next(0)
-		if r.Payload.(int) != i {
+		if r.Payload != i {
 			t.Fatalf("same-cylinder requests not FIFO: got %v at %d", r.Payload, i)
 		}
 	}
 }
 
 func TestSSTFPicksClosest(t *testing.T) {
-	q := New(SSTF)
+	q := New[int](SSTF)
 	for _, c := range []int{10, 48, 55, 100} {
-		q.Push(Request{Cyl: c})
+		q.Push(Request[int]{Cyl: c})
 	}
 	got := drain(q, 50)
 	want := []int{48, 55, 100, 10}
@@ -120,9 +120,9 @@ func TestSSTFPicksClosest(t *testing.T) {
 }
 
 func TestCLOOKWrapsAround(t *testing.T) {
-	q := New(CLOOK)
+	q := New[int](CLOOK)
 	for _, c := range []int{10, 40, 80} {
-		q.Push(Request{Cyl: c})
+		q.Push(Request[int]{Cyl: c})
 	}
 	got := drain(q, 50)
 	want := []int{80, 10, 40}
@@ -138,12 +138,12 @@ func TestPropertyCompleteness(t *testing.T) {
 	for _, p := range allPolicies {
 		p := p
 		f := func(cylsRaw []uint16) bool {
-			q := New(p)
+			q := New[int](p)
 			counts := map[int]int{}
 			for i, c := range cylsRaw {
 				cyl := int(c) % 10724
 				counts[cyl]++
-				q.Push(Request{Cyl: cyl, Payload: i})
+				q.Push(Request[int]{Cyl: cyl, Payload: i})
 			}
 			got := drain(q, 5000)
 			if len(got) != len(cylsRaw) {
@@ -169,9 +169,9 @@ func TestPropertyCompleteness(t *testing.T) {
 // sequence of serviced cylinders between direction changes is monotone.
 func TestPropertyLOOKMonotoneSweeps(t *testing.T) {
 	f := func(cylsRaw []uint16, headRaw uint16) bool {
-		q := New(LOOK)
+		q := New[int](LOOK)
 		for _, c := range cylsRaw {
-			q.Push(Request{Cyl: int(c) % 1000})
+			q.Push(Request[int]{Cyl: int(c) % 1000})
 		}
 		got := drain(q, int(headRaw)%1000)
 		// Count direction changes; a LOOK drain of a fixed set may change
@@ -194,10 +194,10 @@ func TestPropertyLOOKMonotoneSweeps(t *testing.T) {
 func TestLOOKBeatsFCFSOnBatch(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	total := func(p Policy) int {
-		q := New(p)
+		q := New[int](p)
 		r2 := rand.New(rand.NewSource(99))
 		for i := 0; i < 200; i++ {
-			q.Push(Request{Cyl: r2.Intn(10724)})
+			q.Push(Request[int]{Cyl: r2.Intn(10724)})
 		}
 		head, dist := 5000, 0
 		for {
@@ -221,21 +221,21 @@ func TestLOOKBeatsFCFSOnBatch(t *testing.T) {
 
 func TestInterleavedPushAndNext(t *testing.T) {
 	for _, p := range allPolicies {
-		q := New(p)
-		q.Push(Request{Cyl: 10, Payload: "a"})
+		q := New[string](p)
+		q.Push(Request[string]{Cyl: 10, Payload: "a"})
 		r, ok := q.Next(0)
 		if !ok || r.Payload != "a" {
 			t.Fatalf("%v: first pop = %v", p, r.Payload)
 		}
-		q.Push(Request{Cyl: 20, Payload: "b"})
-		q.Push(Request{Cyl: 5, Payload: "c"})
+		q.Push(Request[string]{Cyl: 20, Payload: "b"})
+		q.Push(Request[string]{Cyl: 5, Payload: "c"})
 		seen := map[string]bool{}
 		for {
 			r, ok := q.Next(10)
 			if !ok {
 				break
 			}
-			seen[r.Payload.(string)] = true
+			seen[r.Payload] = true
 		}
 		if !seen["b"] || !seen["c"] {
 			t.Fatalf("%v: lost requests after interleaving: %v", p, seen)

@@ -1,0 +1,32 @@
+package sim
+
+import "testing"
+
+// The scheduling hot path must not allocate once the heap has grown to
+// its working size: At appends into pooled backing storage and pop zeroes
+// the vacated slot in place. This pins the optimization the replay loops
+// rely on — a regression here multiplies across every simulated request.
+func TestSchedulingHotPathAllocFree(t *testing.T) {
+	s := New()
+	remaining := 0
+	var tick Event
+	tick = func(now Time) {
+		if remaining > 0 {
+			remaining--
+			s.After(1e-3, tick)
+		}
+	}
+	const events = 512
+	avg := testing.AllocsPerRun(20, func() {
+		remaining = events
+		// A burst of pending events followed by a self-rescheduling
+		// chain, like a disk dispatch loop under load.
+		for i := 0; i < 32; i++ {
+			s.At(s.Now()+Time(i)*1e-4, tick)
+		}
+		s.Run()
+	})
+	if avg > 0 {
+		t.Errorf("scheduling hot path allocates %.1f times per drain; want 0", avg)
+	}
+}

@@ -10,6 +10,13 @@ type Resource struct {
 
 	busyUntil Time
 	queue     []resJob
+	// head indexes the oldest admitted job; popping advances it instead
+	// of reslicing so the backing array is reused once the queue drains.
+	head int
+
+	// complete is the pre-bound completion event shared by every job:
+	// jobs finish in FIFO order, so one event can always retire queue[head].
+	complete Event
 
 	// Busy accumulates total occupied seconds, for utilization reports.
 	Busy float64
@@ -24,7 +31,21 @@ type resJob struct {
 
 // NewResource returns an idle FIFO resource attached to s.
 func NewResource(s *Simulator, name string) *Resource {
-	return &Resource{sim: s, name: name}
+	r := &Resource{sim: s, name: name}
+	r.complete = func(now Time) {
+		job := r.queue[r.head]
+		r.queue[r.head] = resJob{} // release the done closure
+		r.head++
+		if r.head == len(r.queue) {
+			r.queue = r.queue[:0]
+			r.head = 0
+		}
+		r.Served++
+		if job.done != nil {
+			job.done(now)
+		}
+	}
+	return r
 }
 
 // Name reports the label given at construction.
@@ -45,18 +66,11 @@ func (r *Resource) Acquire(dur float64, done Event) {
 	r.busyUntil = end
 	r.Busy += dur
 	r.queue = append(r.queue, resJob{dur: dur, done: done})
-	r.sim.At(end, func(now Time) {
-		job := r.queue[0]
-		r.queue = r.queue[1:]
-		r.Served++
-		if job.done != nil {
-			job.done(now)
-		}
-	})
+	r.sim.At(end, r.complete)
 }
 
 // QueueLen reports the number of jobs admitted but not yet completed.
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int { return len(r.queue) - r.head }
 
 // Utilization reports the fraction of virtual time the resource has been
 // busy, given the current clock. Returns 0 before any time has passed.

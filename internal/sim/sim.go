@@ -8,7 +8,10 @@
 // depends on.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Time is a point in virtual time, in seconds since the start of the
 // simulation. float64 gives sub-nanosecond resolution over the hours-long
@@ -32,10 +35,42 @@ type Simulator struct {
 	heap    []entry
 	ran     uint64
 	maxHeap int
+
+	// storage is the pooled backing-array handle; nil for zero-value
+	// simulators and after Recycle.
+	storage *[]entry
 }
 
-// New returns an empty simulator with the clock at zero.
-func New() *Simulator { return &Simulator{} }
+// heapPool recycles event-queue backing arrays across simulators, so a
+// sweep of thousands of replays grows the heap once instead of once per
+// run. Safe for concurrent replay cells.
+var heapPool = sync.Pool{
+	New: func() any {
+		s := make([]entry, 0, 1024)
+		return &s
+	},
+}
+
+// New returns an empty simulator with the clock at zero. Its event
+// storage comes from a process-wide pool; call Recycle after the run
+// drains to give it back.
+func New() *Simulator {
+	st := heapPool.Get().(*[]entry)
+	return &Simulator{heap: (*st)[:0], storage: st}
+}
+
+// Recycle returns the simulator's event storage to the process-wide pool
+// for the next New. Legal only once the queue has drained (pending
+// events would be lost); the simulator must not be used afterwards.
+func (s *Simulator) Recycle() {
+	if s.storage == nil || len(s.heap) != 0 {
+		return
+	}
+	*s.storage = s.heap[:0]
+	heapPool.Put(s.storage)
+	s.storage = nil
+	s.heap = nil
+}
 
 // Now reports the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
@@ -130,6 +165,9 @@ func (s *Simulator) pop() entry {
 	top := s.heap[0]
 	last := len(s.heap) - 1
 	s.heap[0] = s.heap[last]
+	// Zero the vacated slot so the slack of a drained (and possibly
+	// recycled) heap retains no event closures.
+	s.heap[last] = entry{}
 	s.heap = s.heap[:last]
 	i := 0
 	for {

@@ -95,6 +95,7 @@ func RunLive(w *Workload, cfg Config, opts LiveOptions) (LiveResult, error) {
 	if err := scope.Finish(); err != nil {
 		return LiveResult{}, fmt.Errorf("diskthru: telemetry: %w", err)
 	}
+	r.sim.Recycle() // hand the drained event queue to the next replay
 	return LiveResult{
 		Result:             res,
 		ServerAccesses:     uint64(w.inner.Server.Len()),

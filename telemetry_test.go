@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"diskthru/internal/probe"
@@ -92,5 +93,84 @@ func TestDefaultTelemetryFallback(t *testing.T) {
 	}
 	if ownBuf.Len() == 0 {
 		t.Fatal("config-level telemetry captured nothing")
+	}
+}
+
+// A RunScope attached to one cell must never carry another concurrent
+// cell's events: runs executing in parallel on a shared Telemetry have to
+// export exactly the records their serial counterparts would. The run
+// labels' r### sequence prefixes reflect start order and are stripped
+// before comparing.
+func TestTelemetryIsolationAcrossConcurrentRuns(t *testing.T) {
+	w := syntheticFixture(t, 16)
+	systems := []System{Segm, Block, NoRA, FOR}
+
+	stripSeq := func(run string) string {
+		i := strings.IndexByte(run, '-')
+		if i < 0 {
+			t.Fatalf("run label %q lacks a sequence prefix", run)
+		}
+		return run[i+1:]
+	}
+	parse := func(buf *bytes.Buffer) map[string][]probe.Record {
+		grouped := make(map[string][]probe.Record)
+		sc := bufio.NewScanner(buf)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var rec probe.Record
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				t.Fatal(err)
+			}
+			label := stripSeq(rec.Run)
+			rec.Run = ""
+			grouped[label] = append(grouped[label], rec)
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return grouped
+	}
+
+	// Serial references: each run on its own private Telemetry.
+	want := make(map[string][]probe.Record)
+	for _, sys := range systems {
+		var buf bytes.Buffer
+		cfg := testConfig().WithSystem(sys)
+		cfg.Telemetry = probe.NewTelemetry(&buf, nil, 0)
+		if _, err := Run(w, cfg); err != nil {
+			t.Fatal(err)
+		}
+		for label, recs := range parse(&buf) {
+			want[label] = recs
+		}
+	}
+
+	// All four runs concurrently on one shared Telemetry.
+	var buf bytes.Buffer
+	tel := probe.NewTelemetry(&buf, nil, 0)
+	var wg sync.WaitGroup
+	for _, sys := range systems {
+		sys := sys
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := testConfig().WithSystem(sys)
+			cfg.Telemetry = tel
+			if _, err := Run(w, cfg); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	got := parse(&buf)
+	if len(got) != len(want) {
+		t.Fatalf("concurrent runs exported %d labels, want %d", len(got), len(want))
+	}
+	for label, recs := range want {
+		if !reflect.DeepEqual(got[label], recs) {
+			t.Errorf("run %q: concurrent export differs from its serial reference (%d vs %d records)",
+				label, len(got[label]), len(recs))
+		}
 	}
 }

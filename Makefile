@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench serve-smoke
 
-check: vet build race
+check: vet build race serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,3 +25,23 @@ race:
 # in BENCH_quick.json for cross-commit comparison.
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_quick.json
+
+# End-to-end daemon smoke test: boot diskthrud on an ephemeral port,
+# run fig1 -quick through diskthru-client, require a non-empty table.
+serve-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/diskthrud ./cmd/diskthrud; \
+	$(GO) build -o $$tmp/diskthru-client ./cmd/diskthru-client; \
+	$$tmp/diskthrud -addr 127.0.0.1:0 -addr-file $$tmp/addr \
+		>$$tmp/daemon.log 2>&1 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { \
+		echo "serve-smoke: daemon never wrote its address"; \
+		cat $$tmp/daemon.log; exit 1; }; \
+	out=$$($$tmp/diskthru-client -addr "http://$$(cat $$tmp/addr)" \
+		run -experiment fig1 -quick); \
+	[ -n "$$out" ] || { echo "serve-smoke: empty result"; exit 1; }; \
+	printf '%s\n' "$$out" | head -n 3; \
+	echo "serve-smoke: OK"

@@ -1,0 +1,86 @@
+package diskthru
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// longFixture is a replay big enough to be mid-flight when the test
+// cancels it (hundreds of milliseconds of wall time).
+func longFixture(t *testing.T) *Workload {
+	t.Helper()
+	w, err := SyntheticWorkload(SyntheticOptions{
+		FileKB:      8,
+		Requests:    100000,
+		FootprintMB: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, syntheticFixture(t, 8), testConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextNilMatchesRun(t *testing.T) {
+	w := syntheticFixture(t, 8)
+	want, err := Run(w, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunContext(nil, w, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("RunContext(nil) diverges from Run")
+	}
+}
+
+// TestRunContextCancelStopsReplayPromptly cancels a long replay
+// mid-flight and requires it to stop within a small bound, leaving no
+// goroutines behind (the engine polls the context between event
+// batches; nothing is spawned). Run under -race by `make check`.
+func TestRunContextCancelStopsReplayPromptly(t *testing.T) {
+	w := longFixture(t)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, w, testConfig())
+		errc <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the replay get going
+	cancel()
+	start := time.Now()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("replay did not stop within 5s of cancellation")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("replay took %v to notice cancellation", d)
+	}
+	// The runner goroutine above has exited; nothing else may linger.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}

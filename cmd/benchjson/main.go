@@ -8,6 +8,12 @@
 // Every value/unit pair on a benchmark line is kept, so ns/op, B/op,
 // allocs/op and custom ReportMetric units (file%, web%, ...) all land in
 // the JSON. Input lines are echoed to stdout so the run stays readable.
+//
+// Each benchmark additionally records its "parallelism" (the -N CPU
+// suffix go test prints; 1 when absent), and a synthetic "_env" entry
+// captures GOMAXPROCS and runtime.NumCPU() of the converting process —
+// `make bench` runs it in the same pipeline on the same machine — so
+// the bench trajectory stays interpretable across machines.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -25,9 +32,9 @@ import (
 //
 //	BenchmarkTable2Summary-8   1   1236291691 ns/op   918161 allocs/op
 //
-// capturing the name (CPU suffix stripped), iteration count and the
-// trailing value/unit pairs.
-var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+// capturing the name, the CPU suffix (absent when GOMAXPROCS=1), the
+// iteration count and the trailing value/unit pairs.
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
 
 func main() {
 	out := flag.String("o", "", "write the JSON here (default stdout)")
@@ -44,12 +51,19 @@ func main() {
 			continue
 		}
 		metrics := make(map[string]float64)
-		iters, err := strconv.ParseFloat(m[2], 64)
+		iters, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
 			continue
 		}
 		metrics["iterations"] = iters
-		fields := strings.Fields(m[3])
+		par := 1.0
+		if m[2] != "" {
+			if v, err := strconv.ParseFloat(m[2], 64); err == nil {
+				par = v
+			}
+		}
+		metrics["parallelism"] = par
+		fields := strings.Fields(m[4])
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -66,6 +80,12 @@ func main() {
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	// The underscore keeps the machine record first in the sorted JSON
+	// and out of the benchmark namespace (Go benchmarks are identifiers).
+	results["_env"] = map[string]float64{
+		"gomaxprocs": float64(runtime.GOMAXPROCS(0)),
+		"numcpu":     float64(runtime.NumCPU()),
 	}
 
 	buf, err := json.MarshalIndent(results, "", "  ")

@@ -1,0 +1,208 @@
+// Command diskthru-client is a minimal CLI for the diskthrud job API —
+// everything it does is plain JSON over HTTP and equally reachable with
+// curl (README.md shows the equivalent session).
+//
+// Usage:
+//
+//	diskthru-client [-addr http://127.0.0.1:7070] <command> [args]
+//
+//	submit -experiment fig1 [-quick] [-j N] [-seed S] [-timeout 30s] [-format csv]
+//	status <job-id>          print the job's JSON view
+//	result <job-id>          print a finished job's rendered result
+//	wait   <job-id>          poll until terminal; print the result
+//	run    -experiment ...   submit + wait in one step
+//	cancel <job-id>          request cancellation
+//	list                     list all jobs (id, state, experiment)
+//	metrics                  dump the daemon's /metrics text
+//
+// Exit status is 0 only when the addressed job ends in state "done"
+// (for wait/run) or the request succeeded (for the rest).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+// view mirrors serve.View; only the fields the client prints.
+type view struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Error  string `json:"error"`
+	Result string `json:"result"`
+	Spec   struct {
+		Experiment string `json:"experiment"`
+	} `json:"spec"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:7070", "daemon base URL")
+	poll := flag.Duration("poll", 200*time.Millisecond, "poll interval for wait/run")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fail("usage: diskthru-client [-addr URL] submit|status|result|wait|run|cancel|list|metrics ...")
+	}
+	c := client{base: *addr, poll: *poll}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "submit":
+		v := c.submit(args)
+		fmt.Println(v.ID)
+	case "status":
+		c.printJSON("GET", "/v1/jobs/"+argID(args), nil)
+	case "result":
+		v := c.get(argID(args))
+		c.finish(v)
+	case "wait":
+		c.finish(c.wait(argID(args)))
+	case "run":
+		v := c.submit(args)
+		fmt.Fprintf(os.Stderr, "diskthru-client: submitted %s\n", v.ID)
+		c.finish(c.wait(v.ID))
+	case "cancel":
+		c.printJSON("DELETE", "/v1/jobs/"+argID(args), nil)
+	case "list":
+		var views []view
+		c.getJSON("/v1/jobs", &views)
+		for _, v := range views {
+			fmt.Printf("%s\t%s\t%s\n", v.ID, v.State, v.Spec.Experiment)
+		}
+	case "metrics":
+		resp := c.do("GET", "/metrics", nil)
+		defer resp.Body.Close()
+		_, _ = io.Copy(os.Stdout, resp.Body)
+	default:
+		fail("diskthru-client: unknown command %q", cmd)
+	}
+}
+
+func argID(args []string) string {
+	if len(args) != 1 {
+		fail("diskthru-client: expected exactly one job id")
+	}
+	return args[0]
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+type client struct {
+	base string
+	poll time.Duration
+}
+
+func (c client) do(method, path string, body io.Reader) *http.Response {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		fail("diskthru-client: %v", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fail("diskthru-client: %v", err)
+	}
+	return resp
+}
+
+// doJSON performs the request and decodes the response, failing the
+// process on any non-2xx status.
+func (c client) doJSON(method, path string, body io.Reader, out any) {
+	resp := c.do(method, path, body)
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		fail("diskthru-client: %s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(raw))
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			fail("diskthru-client: bad response: %v", err)
+		}
+	}
+}
+
+func (c client) getJSON(path string, out any) { c.doJSON("GET", path, nil, out) }
+
+// printJSON performs the request and echoes the raw JSON response.
+func (c client) printJSON(method, path string, body io.Reader) {
+	var raw json.RawMessage
+	c.doJSON(method, path, body, &raw)
+	pretty, _ := json.MarshalIndent(raw, "", "  ")
+	fmt.Println(string(pretty))
+}
+
+func (c client) get(id string) view {
+	var v view
+	c.getJSON("/v1/jobs/"+id, &v)
+	return v
+}
+
+// submit parses submit/run flags and posts the job.
+func (c client) submit(args []string) view {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		experiment = fs.String("experiment", "", "experiment name (required; see diskthru -list)")
+		quick      = fs.Bool("quick", false, "reduced scales")
+		jobs       = fs.Int("j", 0, "cells run concurrently inside the job")
+		seed       = fs.Int64("seed", 0, "generator seed offset")
+		timeout    = fs.Duration("timeout", 0, "job deadline (0 = server default)")
+		format     = fs.String("format", "", "result format: text | csv")
+	)
+	_ = fs.Parse(args)
+	if *experiment == "" {
+		fail("diskthru-client: submit needs -experiment")
+	}
+	spec := map[string]any{"experiment": *experiment}
+	if *quick {
+		spec["quick"] = true
+	}
+	if *jobs > 0 {
+		spec["parallelism"] = *jobs
+	}
+	if *seed != 0 {
+		spec["seed"] = *seed
+	}
+	if *timeout > 0 {
+		spec["timeout_seconds"] = timeout.Seconds()
+	}
+	if *format != "" {
+		spec["format"] = *format
+	}
+	body, _ := json.Marshal(spec)
+	var v view
+	c.doJSON("POST", "/v1/jobs", bytes.NewReader(body), &v)
+	return v
+}
+
+// wait polls until the job reaches a terminal state.
+func (c client) wait(id string) view {
+	for {
+		v := c.get(id)
+		switch v.State {
+		case "done", "failed", "canceled":
+			return v
+		}
+		time.Sleep(c.poll)
+	}
+}
+
+// finish prints a terminal job's outcome and sets the exit status.
+func (c client) finish(v view) {
+	switch v.State {
+	case "done":
+		fmt.Print(v.Result)
+	case "queued", "running":
+		fail("diskthru-client: %s still %s", v.ID, v.State)
+	default:
+		fail("diskthru-client: %s %s: %s", v.ID, v.State, v.Error)
+	}
+}

@@ -18,6 +18,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +43,7 @@ func main() {
 		fileScale = flag.Float64("file-scale", 0, "override file-server workload scale")
 		seed      = flag.Int64("seed", 0, "seed offset for replication runs")
 		jobs      = flag.Int("j", 0, "simulation cells run concurrently per experiment (0 = GOMAXPROCS; tables are identical at any value)")
+		timeout   = flag.Duration("timeout", 0, "abort the whole invocation after this long (same cancellation path diskthrud uses; 0 = no limit)")
 		timing    = flag.Bool("time", false, "print wall-clock time per experiment")
 		format    = flag.String("format", "text", "output format: text | csv")
 		tracePath = flag.String("trace", "", "write a per-request lifecycle trace (JSONL) to this file")
@@ -84,6 +87,14 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Parallelism = *jobs
+	if *timeout > 0 {
+		// The one-shot run rides the same context-cancellation path the
+		// job daemon uses: the deadline reaches the event loop through
+		// Options.Ctx and stops a replay mid-flight.
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Ctx = ctx
+	}
 
 	var names []string
 	switch {
@@ -101,7 +112,11 @@ func main() {
 		start := time.Now()
 		table, err := experiments.Run(n, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "diskthru: %s: %v\n", n, err)
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "diskthru: %s: timed out after %v\n", n, *timeout)
+			} else {
+				fmt.Fprintf(os.Stderr, "diskthru: %s: %v\n", n, err)
+			}
 			os.Exit(1)
 		}
 		switch *format {

@@ -1,0 +1,94 @@
+// Command diskthrud serves the experiment registry as a job daemon:
+// submissions queue behind a bounded FIFO with backpressure, a worker
+// pool replays them through the simulator, and jobs can be polled and
+// cancelled while they run. See the Serving section of README.md for
+// the API and an example session.
+//
+// Usage:
+//
+//	diskthrud -addr 127.0.0.1:7070
+//	diskthrud -addr 127.0.0.1:0 -addr-file /tmp/diskthrud.addr
+//	diskthrud -queue-cap 8 -workers 2 -max-timeout 10m
+//
+// SIGTERM or SIGINT drains gracefully: admission closes (new
+// submissions get 503), accepted jobs finish, then the process exits.
+// Jobs still alive after -drain-timeout are cancelled mid-replay. A
+// second signal forces the drain immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"diskthru/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7070", "listen address (port 0 picks a free port)")
+		addrFile     = flag.String("addr-file", "", "write the bound address to this file (for scripts using port 0)")
+		queueCap     = flag.Int("queue-cap", 64, "bounded admission queue capacity; beyond it submissions get 429")
+		workers      = flag.Int("workers", 1, "jobs executed concurrently")
+		defTimeout   = flag.Duration("default-timeout", 0, "deadline for jobs that request none (0 = none)")
+		maxTimeout   = flag.Duration("max-timeout", 0, "hard cap on any job deadline (0 = uncapped)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long a signal-triggered drain waits before cancelling jobs")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "diskthrud: ", log.LstdFlags)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			logger.Fatal(err)
+		}
+	}
+	logger.Printf("listening on %s (queue %d, workers %d)", bound, *queueCap, *workers)
+
+	srv := serve.New(serve.Config{
+		QueueCap:       *queueCap,
+		Workers:        *workers,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		Logf:           logger.Printf,
+	})
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		logger.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default handling: a second signal kills the process
+
+	logger.Printf("signal received; draining (timeout %v)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		logger.Printf("drain timed out; in-flight jobs were cancelled: %v", err)
+	}
+	// The API stayed up through the drain so pollers could collect
+	// results; now nothing is left to observe.
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "diskthrud: drained, exiting")
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSIGTERMDrainFinishesInFlightJob exercises the real signal path:
+// the built daemon gets SIGTERM while a job is mid-replay and must
+// finish that job, log the drain, and exit 0.
+func TestSIGTERMDrainFinishesInFlightJob(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "diskthrud")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building diskthrud: %v", err)
+	}
+
+	addrFile := filepath.Join(dir, "addr")
+	var stderr bytes.Buffer
+	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-addr-file", addrFile)
+	daemon.Stderr = &stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+
+	var addr string
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
+			addr = strings.TrimSpace(string(raw))
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never wrote its address; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	// table2 -quick runs for over a second on any machine — long enough
+	// that the SIGTERM below lands mid-replay.
+	body := strings.NewReader(`{"experiment":"table2","quick":true,"parallelism":1}`)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+
+	for deadline := time.Now().Add(30 * time.Second); view.State != "running"; {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started running (state %s)", view.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+		r, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, view.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- daemon.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exited with %v; stderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("daemon did not drain and exit; stderr:\n%s", stderr.String())
+	}
+	log := stderr.String()
+	// The in-flight job must have completed during the drain, not been
+	// cancelled or abandoned.
+	if !strings.Contains(log, view.ID+" done in") {
+		t.Fatalf("drain log does not show %s finishing:\n%s", view.ID, log)
+	}
+	if !strings.Contains(log, "drained, exiting") {
+		t.Fatalf("missing drain completion line:\n%s", log)
+	}
+}

@@ -21,6 +21,7 @@
 package diskthru
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -252,7 +253,23 @@ func collectResult(end float64, r *rig, requests uint64) Result {
 // the measurements. The run is deterministic for a fixed (workload,
 // config) pair.
 func Run(w *Workload, cfg Config) (Result, error) {
+	return RunContext(context.Background(), w, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the replay polls
+// ctx every few thousand simulation events (see sim.SetCancel) and
+// returns ctx's error once it fires, abandoning the unfired events. A
+// cancelled run reports no telemetry and no Result. A nil or
+// background context reproduces Run exactly — including its results,
+// byte for byte.
+func RunContext(ctx context.Context, w *Workload, cfg Config) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	inner := w.inner
@@ -315,7 +332,15 @@ func Run(w *Workload, cfg Config) (Result, error) {
 		Active:  h.Active,
 	})
 
+	if done := ctx.Done(); done != nil {
+		r.sim.SetCancel(done)
+	}
 	end := h.Replay(inner.Trace)
+	if r.sim.Cancelled() {
+		// Partial counters and partial telemetry would misrepresent the
+		// workload; drop both.
+		return Result{}, fmt.Errorf("diskthru: %s/%s replay cancelled: %w", w.Name(), cfg.System, ctx.Err())
+	}
 	res := collectResult(end, r, h.IssuedRequests)
 	res.Latency = summarizeLatencies(h.Latencies)
 	if err := scope.Finish(); err != nil {

@@ -200,6 +200,11 @@ type Disk struct {
 	queue   sched.Queue[Request]
 	headCyl int
 	busy    bool
+	// opEnd is the virtual completion time of the in-flight media
+	// operation. Its full cost lands in stats at dispatch; Sample uses
+	// opEnd to apportion the not-yet-elapsed remainder out of the busy
+	// gauge so per-interval utilization never exceeds 1.
+	opEnd sim.Time
 
 	store cache.Store
 	hdc   *cache.HDCRegion
@@ -275,11 +280,18 @@ func (d *Disk) HDC() *cache.HDCRegion { return d.hdc }
 func (d *Disk) QueueLen() int { return d.queue.Len() }
 
 // Sample implements probe.DiskProbe: a point-in-time reading of the
-// drive's gauges for the telemetry sampler.
+// drive's gauges for the telemetry sampler. Busy counts only the
+// mechanical time already elapsed: the in-flight operation's remainder
+// beyond now is subtracted from the dispatch-time charge, so the
+// sampler's per-interval utilization stays within [0, 1].
 func (d *Disk) Sample() probe.DiskSample {
 	snap := cache.Snap(d.store)
+	busy := d.stats.BusyTime()
+	if rem := d.opEnd - d.sim.Now(); rem > 0 {
+		busy -= rem
+	}
 	return probe.DiskSample{
-		Busy:            d.stats.BusyTime(),
+		Busy:            busy,
 		Queue:           d.queue.Len(),
 		StoreLen:        snap.Len,
 		StoreCap:        snap.Capacity,
@@ -498,6 +510,7 @@ func (d *Disk) serviceNext() {
 
 	d.inflight = r
 	d.inflightCount = count
+	d.opEnd = d.sim.Now() + d.cfg.CommandOverhead + acc.Total()
 	d.sim.After(d.cfg.CommandOverhead+acc.Total(), d.mediaDone)
 }
 

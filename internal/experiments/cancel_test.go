@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPreCancelledCtxStopsDriver(t *testing.T) {
+	opts := Quick()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts.Ctx = ctx
+	if _, err := Run("fig1", opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCtxCancelsDriverMidRun(t *testing.T) {
+	opts := Quick()
+	opts.Parallelism = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	opts.Ctx = ctx
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Run("table2", opts)
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("driver did not stop after cancellation")
+	}
+}

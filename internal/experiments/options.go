@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 )
@@ -25,6 +26,14 @@ type Options struct {
 	// one forces the serial path. Every cell owns its own simulator
 	// and generators, so tables are byte-identical at any value.
 	Parallelism int
+	// Ctx, when non-nil, cancels the experiment cooperatively: the
+	// runner checks it before starting each simulation cell and the
+	// replay engine polls it during cells (see diskthru.RunContext), so
+	// a fired context stops a driver within a few thousand simulation
+	// events. The job daemon (internal/serve) and cmd/diskthru's
+	// -timeout flag both cancel through this field. Nil means run to
+	// completion, exactly as before the field existed.
+	Ctx context.Context
 }
 
 // parallelism resolves the worker-pool width.

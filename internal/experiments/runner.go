@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -19,10 +20,17 @@ import (
 // parallelism.
 type runner struct {
 	par   int
+	ctx   context.Context // never nil; Background when Options.Ctx is unset
 	cells []func() error
 }
 
-func newRunner(o Options) *runner { return &runner{par: o.parallelism()} }
+func newRunner(o Options) *runner {
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &runner{par: o.parallelism(), ctx: ctx}
+}
 
 // add appends one cell. Cells must not read other cells' slots and must
 // not mutate anything shared except through a workloadRef.
@@ -56,7 +64,7 @@ func (r *runner) run(wr *workloadRef, cfg diskthru.Config) *diskthru.Result {
 		if err != nil {
 			return err
 		}
-		v, err := diskthru.Run(w, cfg)
+		v, err := diskthru.RunContext(r.ctx, w, cfg)
 		if err != nil {
 			return err
 		}
@@ -78,7 +86,7 @@ func (r *runner) compare(wr *workloadRef, base diskthru.Config, systems []diskth
 			if err != nil {
 				return err
 			}
-			v, err := diskthru.Run(w, base.WithSystem(sys))
+			v, err := diskthru.RunContext(r.ctx, w, base.WithSystem(sys))
 			if err != nil {
 				return fmt.Errorf("%v: %w", sys, err)
 			}
@@ -98,7 +106,7 @@ func (r *runner) runLive(wr *workloadRef, cfg diskthru.Config, opts diskthru.Liv
 		if err != nil {
 			return err
 		}
-		v, err := diskthru.RunLive(w, cfg, opts)
+		v, err := diskthru.RunLiveContext(r.ctx, w, cfg, opts)
 		if err != nil {
 			return err
 		}
@@ -108,6 +116,16 @@ func (r *runner) runLive(wr *workloadRef, cfg diskthru.Config, opts diskthru.Liv
 	return res
 }
 
+// cell runs cell i, first honoring the runner's context so a cancelled
+// experiment stops between cells even when the cells themselves are
+// pure computations that never consult it.
+func (r *runner) cell(i int) error {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	return r.cells[i]()
+}
+
 // wait executes the cells and blocks until all have finished or the
 // pool has drained after a failure. At parallelism <= 1 the cells run
 // serially in order on the calling goroutine. Otherwise min(par, cells)
@@ -115,7 +133,8 @@ func (r *runner) runLive(wr *workloadRef, cfg diskthru.Config, opts diskthru.Liv
 // stealing for a uniform task list — and the first error cancels the
 // remaining unstarted cells. When several in-flight cells fail, the one
 // with the smallest index wins, matching the serial path's choice for
-// any set of already-started cells.
+// any set of already-started cells. A cancelled Options.Ctx surfaces
+// here as the first error of whichever cell observed it.
 func (r *runner) wait() error {
 	n := len(r.cells)
 	par := r.par
@@ -123,8 +142,8 @@ func (r *runner) wait() error {
 		par = n
 	}
 	if par <= 1 {
-		for _, c := range r.cells {
-			if err := c(); err != nil {
+		for i := range r.cells {
+			if err := r.cell(i); err != nil {
 				return err
 			}
 		}
@@ -147,7 +166,7 @@ func (r *runner) wait() error {
 				if i >= n || stop.Load() {
 					return
 				}
-				if err := r.cells[i](); err != nil {
+				if err := r.cell(i); err != nil {
 					stop.Store(true)
 					mu.Lock()
 					if i < errIdx {

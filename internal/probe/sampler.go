@@ -13,9 +13,10 @@ import (
 // The sampler differences consecutive samples to produce per-interval
 // rates.
 type DiskSample struct {
-	// Busy is cumulative mechanical busy time (seconds). It is charged
-	// at dispatch, so per-interval utilization can exceed 1 when a long
-	// operation starts inside a short interval.
+	// Busy is cumulative mechanical busy time (seconds), apportioned to
+	// elapsed virtual time: an in-flight operation contributes only the
+	// part that has already happened, so differencing two samples gives
+	// a per-interval utilization bounded by 1.
 	Busy float64
 	// Queue is the instantaneous controller queue depth.
 	Queue int

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"diskthru/internal/experiments"
+)
+
+// State is a job's position in its lifecycle. Transitions are strictly
+// forward: queued -> running -> {done, failed, canceled}, with the
+// shortcut queued -> canceled when a job is cancelled before a worker
+// picks it up.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether a job in this state will never change again.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Spec is one job submission: which experiment to run and at what
+// scale. It is the JSON body of POST /v1/jobs.
+type Spec struct {
+	// Experiment is a registry name (see `diskthru -list`).
+	Experiment string `json:"experiment"`
+	// Quick selects experiments.Quick scales; the default is the
+	// committed experiments.Defaults scales.
+	Quick bool `json:"quick,omitempty"`
+	// Parallelism bounds the cells run concurrently inside the job
+	// (Options.Parallelism); 0 means GOMAXPROCS.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Seed offsets the generator seeds (Options.Seed).
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutSeconds caps the job's run time; 0 uses the server
+	// default. The deadline is enforced through the same context path
+	// DELETE uses, so an expired job stops mid-replay.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// Format selects the result rendering: "text" (default, the CLI's
+	// aligned table) or "csv".
+	Format string `json:"format,omitempty"`
+}
+
+// validate rejects specs the worker could never execute.
+func (sp Spec) validate() error {
+	if _, err := experiments.Lookup(sp.Experiment); err != nil {
+		return err
+	}
+	switch sp.Format {
+	case "", "text", "csv":
+	default:
+		return fmt.Errorf("serve: unknown format %q (want text or csv)", sp.Format)
+	}
+	if sp.TimeoutSeconds < 0 {
+		return fmt.Errorf("serve: negative timeout %v", sp.TimeoutSeconds)
+	}
+	if sp.Parallelism < 0 {
+		return fmt.Errorf("serve: negative parallelism %d", sp.Parallelism)
+	}
+	return nil
+}
+
+// options translates the spec into experiment options (without the
+// context, which the worker owns).
+func (sp Spec) options() experiments.Options {
+	o := experiments.Defaults()
+	if sp.Quick {
+		o = experiments.Quick()
+	}
+	o.Seed = sp.Seed
+	o.Parallelism = sp.Parallelism
+	return o
+}
+
+// job is the server's record of one submission. All fields besides id
+// and spec are guarded by the server mutex.
+type job struct {
+	id   string
+	spec Spec
+
+	state    State
+	err      string
+	result   string
+	canceled bool // cancellation requested (DELETE or forced drain)
+	// cancel interrupts the running replay; non-nil only while the job
+	// is running.
+	cancel func()
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// View is the JSON shape of a job returned by the API.
+type View struct {
+	ID     string `json:"id"`
+	Spec   Spec   `json:"spec"`
+	State  State  `json:"state"`
+	Error  string `json:"error,omitempty"`
+	Result string `json:"result,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// view snapshots the job; the caller must hold the server mutex.
+func (j *job) view() View {
+	v := View{
+		ID:          j.id,
+		Spec:        j.spec,
+		State:       j.state,
+		Error:       j.err,
+		Result:      j.result,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	return v
+}

@@ -1,0 +1,396 @@
+// Package serve turns the experiment registry into a long-running job
+// service: submissions enter a bounded FIFO admission queue, a fixed
+// worker pool executes them through internal/experiments, and every job
+// can be observed, cancelled, or bounded by a deadline while it runs.
+// The HTTP surface lives in api.go; cmd/diskthrud wraps the package in
+// a daemon with signal-driven graceful drain.
+//
+// Backpressure is explicit: when the queue is full, Submit fails with
+// ErrQueueFull (HTTP 429 + Retry-After) instead of buffering without
+// bound, so memory stays proportional to queue capacity no matter how
+// many clients push. Cancellation is real, not cosmetic — it reaches
+// the discrete-event engine through experiments.Options.Ctx, stopping a
+// replay within a few thousand simulation events.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"diskthru/internal/experiments"
+	"diskthru/internal/stats"
+)
+
+// Submission rejections. The HTTP layer maps these to 429 and 503.
+var (
+	ErrQueueFull = errors.New("serve: admission queue full")
+	ErrDraining  = errors.New("serve: server is draining, not admitting jobs")
+)
+
+// errJobTimeout marks deadline-expired jobs; their state is failed (the
+// work was not completed and will not be), distinct from canceled
+// (someone asked for it to stop).
+var errJobTimeout = errors.New("job deadline exceeded")
+
+// Config sizes the daemon.
+type Config struct {
+	// QueueCap bounds the admission queue (jobs accepted but not yet
+	// running). Zero means 64.
+	QueueCap int
+	// Workers is the number of jobs executed concurrently. Zero means 1
+	// — jobs parallelize internally via Spec.Parallelism, so one worker
+	// is the sensible default on a machine this size.
+	Workers int
+	// DefaultTimeout applies to jobs that do not set TimeoutSeconds;
+	// zero means no deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps every job's deadline when positive; requests
+	// beyond it are clamped, and jobs without any timeout get this one.
+	MaxTimeout time.Duration
+	// Runner executes one job. Nil means the real experiments-backed
+	// runner; tests inject controllable stand-ins.
+	Runner func(ctx context.Context, spec Spec) (string, error)
+	// Logf, when non-nil, receives one line per lifecycle transition.
+	Logf func(format string, args ...any)
+}
+
+// Server is the job daemon: admission queue, worker pool, job table,
+// and counters. Create with New, stop with Drain.
+type Server struct {
+	cfg   Config
+	queue chan *job
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for listing
+	seq      int
+	draining bool
+
+	// Lifecycle counters (under mu). running counts jobs between their
+	// queued->running and running->terminal transitions.
+	submitted, rejectedFull, rejectedDraining int
+	running, done, failed, canceled           int
+	// perExp summarizes wall-clock seconds of completed (done) jobs.
+	perExp map[string]*stats.Summary
+
+	wg sync.WaitGroup
+}
+
+// New builds the server and starts its workers.
+func New(cfg Config) *Server {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = runSpec
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:    cfg,
+		queue:  make(chan *job, cfg.QueueCap),
+		jobs:   make(map[string]*job),
+		perExp: make(map[string]*stats.Summary),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// runSpec is the production runner: the same registry, options and
+// rendering the CLI uses, so a job's result is byte-identical to
+// `diskthru -experiment <name>` at the same scale and seed.
+func runSpec(ctx context.Context, sp Spec) (string, error) {
+	o := sp.options()
+	o.Ctx = ctx
+	t, err := experiments.Run(sp.Experiment, o)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	if sp.Format == "csv" {
+		if err := t.CSV(&sb); err != nil {
+			return "", err
+		}
+	} else {
+		t.Format(&sb)
+	}
+	return sb.String(), nil
+}
+
+// Submit validates and enqueues one job, returning its queued view.
+// ErrQueueFull and ErrDraining report backpressure; other errors are
+// bad specs.
+func (s *Server) Submit(spec Spec) (View, error) {
+	if err := spec.validate(); err != nil {
+		return View{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.rejectedDraining++
+		return View{}, ErrDraining
+	}
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("j%06d", s.seq),
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	// The queue send stays under mu: admission and Drain's close of the
+	// channel serialize on the same lock, so a send can never hit a
+	// closed queue, and a full buffered channel fails over to default
+	// without blocking.
+	select {
+	case s.queue <- j:
+	default:
+		s.rejectedFull++
+		return View{}, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.submitted++
+	s.cfg.Logf("serve: %s queued (%s)", j.id, spec.Experiment)
+	return j.view(), nil
+}
+
+// Get returns one job's view.
+func (s *Server) Get(id string) (View, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return View{}, false
+	}
+	return j.view(), true
+}
+
+// List returns every job in submission order.
+func (s *Server) List() []View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]View, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// Cancel requests a job stop. Queued jobs are marked canceled
+// immediately (the worker discards them on dequeue); running jobs have
+// their context cancelled and reach the canceled state when the replay
+// notices, typically within milliseconds. Cancelling a terminal job is
+// a no-op. The second return is false when the id is unknown.
+func (s *Server) Cancel(id string) (View, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return View{}, false
+	}
+	s.cancelLocked(j)
+	return j.view(), true
+}
+
+// cancelLocked implements Cancel under mu.
+func (s *Server) cancelLocked(j *job) {
+	if j.state.terminal() || j.canceled {
+		return
+	}
+	j.canceled = true
+	switch j.state {
+	case StateQueued:
+		// Resolved lazily by the worker that dequeues it; mark it
+		// terminal now so clients see the final state immediately.
+		j.state = StateCanceled
+		j.finished = time.Now()
+		s.canceled++
+		s.cfg.Logf("serve: %s canceled while queued", j.id)
+	case StateRunning:
+		j.cancel()
+		s.cfg.Logf("serve: %s cancel requested mid-run", j.id)
+	}
+}
+
+// Draining reports whether admission is closed.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain closes admission and waits for the workers to finish every
+// already-accepted job (queued and running) — the SIGTERM path. If ctx
+// fires first, all remaining jobs are cancelled and Drain waits for the
+// workers to observe that, returning ctx's error. Drain is idempotent;
+// concurrent calls all block until the pool exits.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // workers drain the buffered jobs, then exit
+		s.cfg.Logf("serve: draining: admission closed, %d job(s) pending", len(s.queue)+s.running)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Forced drain: cancel everything still alive, then wait for the
+	// workers, which is now prompt — replays notice within a few
+	// thousand events and queued jobs resolve on dequeue.
+	s.mu.Lock()
+	for _, id := range s.order {
+		s.cancelLocked(s.jobs[id])
+	}
+	s.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// worker executes queued jobs until the queue is closed and empty.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.execute(j)
+	}
+}
+
+// execute runs one dequeued job through its whole lifecycle.
+func (s *Server) execute(j *job) {
+	s.mu.Lock()
+	if j.canceled {
+		// Cancelled while queued; Cancel already made it terminal.
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel, timeout := s.jobContext(j.spec)
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = time.Now()
+	s.running++
+	s.mu.Unlock()
+	s.cfg.Logf("serve: %s running (%s, timeout %v)", j.id, j.spec.Experiment, timeout)
+
+	result, err := s.cfg.Runner(ctx, j.spec)
+	if err == nil && ctx.Err() == context.DeadlineExceeded {
+		// The runner finished its current cell after the deadline but
+		// before the poll; the job still missed its deadline.
+		err = ctx.Err()
+	}
+	cancel()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.cancel = nil
+	j.finished = time.Now()
+	s.running--
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+		s.done++
+		wall := j.finished.Sub(j.started).Seconds()
+		sum, ok := s.perExp[j.spec.Experiment]
+		if !ok {
+			sum = &stats.Summary{}
+			s.perExp[j.spec.Experiment] = sum
+		}
+		sum.Observe(wall)
+		s.cfg.Logf("serve: %s done in %.3fs", j.id, wall)
+	case j.canceled && !errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCanceled
+		j.err = err.Error()
+		s.canceled++
+		s.cfg.Logf("serve: %s canceled mid-run", j.id)
+	default:
+		j.state = StateFailed
+		if errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("%w after %v: %v", errJobTimeout, timeout, err)
+		}
+		j.err = err.Error()
+		s.failed++
+		s.cfg.Logf("serve: %s failed: %v", j.id, err)
+	}
+}
+
+// jobContext builds the per-job context: cancellable always, with a
+// deadline when the spec or server configuration requests one.
+func (s *Server) jobContext(sp Spec) (context.Context, context.CancelFunc, time.Duration) {
+	timeout := time.Duration(sp.TimeoutSeconds * float64(time.Second))
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		return ctx, cancel, timeout
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return ctx, cancel, 0
+}
+
+// Metrics renders the daemon's counters as a plain-text gauge listing,
+// one `name{labels} value` per line, ready for scraping or eyeballs.
+func (s *Server) Metrics() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sb strings.Builder
+	p := func(format string, args ...any) { fmt.Fprintf(&sb, format, args...) }
+	p("diskthru_jobs_submitted_total %d\n", s.submitted)
+	p("diskthru_jobs_rejected_total{reason=\"queue_full\"} %d\n", s.rejectedFull)
+	p("diskthru_jobs_rejected_total{reason=\"draining\"} %d\n", s.rejectedDraining)
+	p("diskthru_jobs_total{state=\"done\"} %d\n", s.done)
+	p("diskthru_jobs_total{state=\"failed\"} %d\n", s.failed)
+	p("diskthru_jobs_total{state=\"canceled\"} %d\n", s.canceled)
+	p("diskthru_jobs_running %d\n", s.running)
+	p("diskthru_queue_depth %d\n", len(s.queue))
+	p("diskthru_queue_capacity %d\n", s.cfg.QueueCap)
+	draining := 0
+	if s.draining {
+		draining = 1
+	}
+	p("diskthru_draining %d\n", draining)
+	names := make([]string, 0, len(s.perExp))
+	for name := range s.perExp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sum := s.perExp[name]
+		for _, st := range []struct {
+			stat string
+			v    float64
+		}{
+			{"count", float64(sum.N())},
+			{"mean", sum.Mean()},
+			{"min", sum.Min()},
+			{"max", sum.Max()},
+			{"stddev", sum.StdDev()},
+		} {
+			p("diskthru_job_seconds{experiment=%q,stat=%q} %g\n", name, st.stat, st.v)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,68 @@
+package sim
+
+import "testing"
+
+// perpetual schedules an event chain that never drains: each firing
+// schedules the next. Only cancellation can stop Run.
+func perpetual(s *Simulator) {
+	var tick Event
+	tick = func(now Time) { s.After(1, tick) }
+	s.After(1, tick)
+}
+
+func TestRunStopsOnClosedCancel(t *testing.T) {
+	s := New()
+	perpetual(s)
+	done := make(chan struct{})
+	close(done)
+	s.SetCancel(done)
+	s.Run()
+	if !s.Cancelled() {
+		t.Fatal("Cancelled() = false after a cancelled run")
+	}
+	if s.Processed() > cancelCheckEvery+1 {
+		t.Fatalf("ran %d events past an already-closed cancel channel (check interval %d)",
+			s.Processed(), cancelCheckEvery)
+	}
+	if s.Pending() == 0 {
+		t.Fatal("cancelled perpetual chain left no pending events")
+	}
+}
+
+func TestRunWithOpenCancelDrainsNormally(t *testing.T) {
+	s := New()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		s.After(float64(i), func(Time) { fired++ })
+	}
+	s.SetCancel(make(chan struct{}))
+	end := s.Run()
+	if fired != 10 || s.Cancelled() {
+		t.Fatalf("fired=%d cancelled=%v, want a normal drain", fired, s.Cancelled())
+	}
+	if end != 9 {
+		t.Fatalf("end = %v, want 9", end)
+	}
+}
+
+func TestSetCancelNilRestoresUncancellableRun(t *testing.T) {
+	s := New()
+	perpetual(s)
+	done := make(chan struct{})
+	close(done)
+	s.SetCancel(done)
+	s.Run()
+	if !s.Cancelled() {
+		t.Fatal("setup: run did not cancel")
+	}
+	// Clearing the channel resets the flag; the chain is still pending,
+	// so bound the drain with RunUntil instead of Run.
+	s.SetCancel(nil)
+	if s.Cancelled() {
+		t.Fatal("SetCancel(nil) did not reset Cancelled")
+	}
+	s.RunUntil(s.Now() + 10)
+	if s.Pending() == 0 {
+		t.Fatal("perpetual chain vanished")
+	}
+}

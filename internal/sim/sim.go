@@ -36,6 +36,11 @@ type Simulator struct {
 	ran     uint64
 	maxHeap int
 
+	// cancel, when non-nil, is polled between event batches by Run; a
+	// closed channel stops the run early with events still queued.
+	cancel    <-chan struct{}
+	cancelled bool
+
 	// storage is the pooled backing-array handle; nil for zero-value
 	// simulators and after Recycle.
 	storage *[]entry
@@ -118,12 +123,51 @@ func (s *Simulator) Step() bool {
 	return true
 }
 
+// cancelCheckEvery is how many events fire between cancellation polls.
+// Large enough that the poll is invisible in profiles, small enough that
+// a cancelled replay stops within microseconds of wall time.
+const cancelCheckEvery = 4096
+
+// SetCancel installs a stop channel that Run polls every
+// cancelCheckEvery events; context.Context.Done() is the intended
+// source. A nil channel (the default) removes the check entirely — the
+// drain loop is then identical to the uncancellable one, so the hot
+// path pays nothing. Closing the channel stops Run early, leaving the
+// remaining events queued; use Cancelled to distinguish that exit from
+// a normal drain.
+func (s *Simulator) SetCancel(done <-chan struct{}) {
+	s.cancel = done
+	s.cancelled = false
+}
+
+// Cancelled reports whether the last Run stopped early because the
+// installed cancel channel was closed.
+func (s *Simulator) Cancelled() bool { return s.cancelled }
+
 // Run fires events until the queue drains and returns the final clock
-// value (the makespan of whatever was simulated).
+// value (the makespan of whatever was simulated). With a cancel channel
+// installed (SetCancel), a close stops the run within cancelCheckEvery
+// events; Cancelled then reports true and the unfired events stay
+// queued.
 func (s *Simulator) Run() Time {
-	for s.Step() {
+	if s.cancel == nil {
+		for s.Step() {
+		}
+		return s.now
 	}
-	return s.now
+	for {
+		for i := 0; i < cancelCheckEvery; i++ {
+			if !s.Step() {
+				return s.now
+			}
+		}
+		select {
+		case <-s.cancel:
+			s.cancelled = true
+			return s.now
+		default:
+		}
+	}
 }
 
 // RunUntil fires events with timestamps <= deadline, leaving later events

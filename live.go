@@ -1,6 +1,7 @@
 package diskthru
 
 import (
+	"context"
 	"fmt"
 
 	"diskthru/internal/host"
@@ -41,7 +42,20 @@ type LiveResult struct {
 // host-managed HDC policies can react to cache events. Mirroring is not
 // supported in this mode.
 func RunLive(w *Workload, cfg Config, opts LiveOptions) (LiveResult, error) {
+	return RunLiveContext(context.Background(), w, cfg, opts)
+}
+
+// RunLiveContext is RunLive with the cooperative cancellation of
+// RunContext: ctx is polled during the replay, and a fired context
+// aborts the run with ctx's error and no telemetry.
+func RunLiveContext(ctx context.Context, w *Workload, cfg Config, opts LiveOptions) (LiveResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
+		return LiveResult{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return LiveResult{}, err
 	}
 	if cfg.Mirrored || cfg.CoopHDC {
@@ -90,7 +104,13 @@ func RunLive(w *Workload, cfg Config, opts LiveOptions) (LiveResult, error) {
 		Active:    l.Active,
 		HostCache: l.CacheCounters,
 	})
+	if done := ctx.Done(); done != nil {
+		r.sim.SetCancel(done)
+	}
 	end := l.Replay(w.inner.Server)
+	if r.sim.Cancelled() {
+		return LiveResult{}, fmt.Errorf("diskthru: live %s/%s replay cancelled: %w", w.Name(), cfg.System, ctx.Err())
+	}
 	res := collectResult(end, r, l.IssuedRequests)
 	if err := scope.Finish(); err != nil {
 		return LiveResult{}, fmt.Errorf("diskthru: telemetry: %w", err)

@@ -3,8 +3,10 @@ package diskthru
 import (
 	"bufio"
 	"bytes"
+	gocsv "encoding/csv"
 	"encoding/json"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -63,6 +65,48 @@ func TestTelemetryIsPureObserver(t *testing.T) {
 		if strings.Count(csv, "\n") < 2 {
 			t.Fatalf("%v: metrics CSV has no data rows", sys)
 		}
+	}
+}
+
+// Per-interval utilization must stay within [0, 1]: the busy gauge
+// apportions an in-flight media operation across the intervals it
+// spans instead of charging it whole at dispatch. A short sampling
+// interval against long operations is exactly the case that used to
+// overshoot.
+func TestSampledUtilizationBounded(t *testing.T) {
+	w := syntheticFixture(t, 256) // large files -> long transfers
+	cfg := testConfig()
+	var metricsBuf bytes.Buffer
+	cfg.Telemetry = probe.NewTelemetry(nil, &metricsBuf, 0.002)
+	if _, err := Run(w, cfg); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := gocsv.NewReader(&metricsBuf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	utilCol := -1
+	for j, name := range rows[0] {
+		if name == "util" {
+			utilCol = j
+		}
+	}
+	if utilCol < 0 {
+		t.Fatalf("no util column in %v", rows[0])
+	}
+	checked := 0
+	for _, row := range rows[1:] {
+		u, err := strconv.ParseFloat(row[utilCol], 64)
+		if err != nil {
+			t.Fatalf("util %q: %v", row[utilCol], err)
+		}
+		if u < 0 || u > 1+1e-9 {
+			t.Fatalf("interval utilization %v outside [0, 1] in row %v", u, row)
+		}
+		checked++
+	}
+	if checked < 100 {
+		t.Fatalf("only %d sampled intervals; fixture too small to exercise the bound", checked)
 	}
 }
 

@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench serve-smoke
+.PHONY: check vet build test race bench fuzz serve-smoke
 
-check: vet build race serve-smoke
+check: vet build race fuzz serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,10 +21,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Short fuzz budgets over the two untrusted input surfaces: trace files
+# and fault-profile JSON. Go runs one fuzz target per invocation.
+fuzz:
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s
+	$(GO) test ./internal/fault -run '^$$' -fuzz '^FuzzParseProfile$$' -fuzztime 10s
+
 # One pass over every benchmark at Quick scale; the parsed numbers land
-# in BENCH_quick.json for cross-commit comparison.
+# in BENCH_quick.json for cross-commit comparison. The fault and
+# degraded drivers report separately in BENCH_faults.json.
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_quick.json
+	$(GO) test -bench '^Benchmark(Faults|Degraded)$$' -benchmem -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_faults.json
 
 # End-to-end daemon smoke test: boot diskthrud on an ephemeral port,
 # run fig1 -quick through diskthru-client, require a non-empty table.

@@ -187,6 +187,21 @@ func BenchmarkExtDegraded(b *testing.B) {
 	b.ReportMetric(lastOf(tb, "I/O time (s)"), "degradedSecs")
 }
 
+func BenchmarkFaults(b *testing.B) {
+	tb := runExperiment(b, "faults")
+	// The "none" and "rate 0" FOR rows agree exactly when the error paths
+	// are free; the metric reports their absolute difference (want 0).
+	forr := tb.Column("FOR")
+	b.ReportMetric(math.Abs(forr[1]-forr[0]), "zeroRateDelta")
+	b.ReportMetric(lastOf(tb, "FOR retries"), "retries@5%")
+}
+
+func BenchmarkDegraded(b *testing.B) {
+	tb := runExperiment(b, "degraded")
+	b.ReportMetric(lastOf(tb, "slowdown"), "slowdown")
+	b.ReportMetric(lastOf(tb, "redirects"), "redirects")
+}
+
 func BenchmarkModelVsSim(b *testing.B) {
 	tb := runExperiment(b, "model-vs-sim")
 	b.ReportMetric(tb.Column("simulated")[0], "perOpRatio")

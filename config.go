@@ -5,6 +5,7 @@ import (
 
 	"diskthru/internal/cache"
 	"diskthru/internal/disk"
+	"diskthru/internal/fault"
 	"diskthru/internal/probe"
 	"diskthru/internal/sched"
 )
@@ -167,6 +168,18 @@ type Config struct {
 	// nil, the process-wide default installed by SetDefaultTelemetry
 	// applies (nil again means telemetry off, the default).
 	Telemetry *probe.Telemetry
+	// Faults, when non-nil, installs a deterministic fault injector on
+	// every disk (see internal/fault): transient media errors, latent
+	// sector ranges, and scheduled whole-disk deaths. Nil (default)
+	// disables fault modeling entirely; the run is byte-identical to one
+	// built before the fault model existed.
+	Faults *fault.Profile
+	// RequestTimeoutSeconds, when positive, arms the host watchdog: a
+	// per-disk request not completed within this many virtual seconds
+	// marks the disk down and redirects its blocks to the survivors
+	// (degraded-mode striping). Requires an unmirrored array; zero
+	// (default) disables the watchdog.
+	RequestTimeoutSeconds float64
 }
 
 // DefaultConfig returns the paper's Table 1 configuration with the Segm
@@ -220,6 +233,15 @@ func (c Config) Validate() error {
 		return fmt.Errorf("diskthru: failed disk %d of %d", c.FailedDisk, c.Disks)
 	case c.FailedDisk > 0 && !c.Mirrored:
 		return fmt.Errorf("diskthru: failing a disk requires mirroring")
+	case c.RequestTimeoutSeconds < 0:
+		return fmt.Errorf("diskthru: negative request timeout")
+	case c.RequestTimeoutSeconds > 0 && c.Mirrored:
+		return fmt.Errorf("diskthru: request timeout supports only unmirrored arrays")
+	}
+	if c.Faults != nil {
+		if err := c.Faults.ValidateFor(c.Disks); err != nil {
+			return err
+		}
 	}
 	switch c.System {
 	case Segm, Block, NoRA, FOR:

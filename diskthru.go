@@ -57,6 +57,17 @@ type DiskStats struct {
 	MediaBlocks     uint64
 	RequestedBlocks uint64
 	BusySeconds     float64
+	// Fault-model counters, all zero when Config.Faults is nil: Retries
+	// counts failed media attempts, Remaps latent windows repaired on
+	// the final attempt, Dropped requests discarded by a dead disk, and
+	// RecoverySeconds the time the drive spent on failed attempts.
+	// Timeouts counts host watchdog firings against this disk (requires
+	// Config.RequestTimeoutSeconds > 0).
+	Retries         uint64
+	Remaps          uint64
+	Dropped         uint64
+	RecoverySeconds float64
+	Timeouts        uint64
 }
 
 // Result reports the paper's measurements for one replay.
@@ -82,6 +93,13 @@ type Result struct {
 	// Latency summarizes per-record response times; populated only by
 	// open-loop runs (Config.ArrivalRate > 0).
 	Latency LatencySummary
+	// Retries totals failed media attempts across the array (zero
+	// without a fault model); Timeouts and Redirects total host watchdog
+	// firings and sub-requests re-homed to surviving disks (zero without
+	// Config.RequestTimeoutSeconds).
+	Retries   uint64
+	Timeouts  uint64
+	Redirects uint64
 	// PerDisk holds each drive's counters, in array order.
 	PerDisk []DiskStats
 }
@@ -201,6 +219,9 @@ func buildRig(w *Workload, cfg Config, tracer probe.Tracer) (*rig, error) {
 		if bitmaps != nil {
 			dc.Bitmap = bitmaps[i/replicas] // replicas share the layout
 		}
+		if cfg.Faults != nil {
+			dc.Injector = cfg.Faults.Injector(i)
+		}
 		d, err := disk.New(s, b, i, dc)
 		if err != nil {
 			return nil, fmt.Errorf("disk %d: %w", i, err)
@@ -235,6 +256,7 @@ func collectResult(end float64, r *rig, requests uint64) Result {
 	}
 	for i, st := range agg.PerDisk {
 		res.RequestedBlocks += st.RequestedBlocks
+		res.Retries += st.Retries
 		res.PerDisk[i] = DiskStats{
 			Reads:           st.Reads,
 			Writes:          st.Writes,
@@ -244,6 +266,10 @@ func collectResult(end float64, r *rig, requests uint64) Result {
 			MediaBlocks:     st.MediaBlocks,
 			RequestedBlocks: st.RequestedBlocks,
 			BusySeconds:     st.BusyTime(),
+			Retries:         st.Retries,
+			Remaps:          st.Remaps,
+			Dropped:         st.Dropped,
+			RecoverySeconds: st.RecoveryTime,
 		}
 	}
 	return res
@@ -319,17 +345,20 @@ func RunContext(ctx context.Context, w *Workload, cfg Config) (Result, error) {
 		Issue:         issue,
 		FlushHDCAtEnd: cfg.FlushHDCAtEnd && cfg.HDCKB > 0,
 		SyncHDCEvery:  cfg.SyncHDCSeconds,
-		Replicas:      r.replicas,
-		FailDisk:      cfg.FailedDisk,
-		ArrivalRate:   cfg.ArrivalRate,
+		Replicas:       r.replicas,
+		FailDisk:       cfg.FailedDisk,
+		ArrivalRate:    cfg.ArrivalRate,
+		RequestTimeout: cfg.RequestTimeoutSeconds,
+		DiskBlocks:     r.geom.Blocks(),
 	})
 	if err != nil {
 		return Result{}, err
 	}
 	scope.StartSampler(r.sim, r.diskProbes(), probe.SamplerSources{
-		BusUtil: r.bus.Utilization,
-		Issued:  h.Issued,
-		Active:  h.Active,
+		BusUtil:      r.bus.Utilization,
+		Issued:       h.Issued,
+		Active:       h.Active,
+		DiskTimeouts: h.TimeoutCount,
 	})
 
 	if done := ctx.Done(); done != nil {
@@ -343,6 +372,11 @@ func RunContext(ctx context.Context, w *Workload, cfg Config) (Result, error) {
 	}
 	res := collectResult(end, r, h.IssuedRequests)
 	res.Latency = summarizeLatencies(h.Latencies)
+	res.Redirects = h.Redirects()
+	for i, n := range h.Timeouts() {
+		res.Timeouts += n
+		res.PerDisk[i].Timeouts = n
+	}
 	if err := scope.Finish(); err != nil {
 		return res, fmt.Errorf("diskthru: telemetry: %w", err)
 	}

@@ -11,6 +11,7 @@ import (
 
 	"diskthru/internal/bus"
 	"diskthru/internal/cache"
+	"diskthru/internal/fault"
 	"diskthru/internal/fslayout"
 	"diskthru/internal/geom"
 	"diskthru/internal/probe"
@@ -87,6 +88,11 @@ type Config struct {
 	// per stage and the drive behaves exactly as before the telemetry
 	// layer existed.
 	Tracer probe.Tracer
+	// Injector is this drive's fault model (see internal/fault). nil
+	// (the default) disables fault injection entirely: like Tracer, the
+	// hot path then pays one nil check per media operation and the
+	// drive's event trajectory is exactly the fault-free one.
+	Injector *fault.Injector
 }
 
 // Validate reports configuration errors.
@@ -141,15 +147,20 @@ type Stats struct {
 	MediaBlocks     uint64 // blocks moved to/from media (incl. read-ahead)
 	RequestedBlocks uint64 // blocks the host actually asked for
 
+	Retries uint64 // media attempts failed by the fault model
+	Remaps  uint64 // latent sector windows remapped after retry exhaustion
+	Dropped uint64 // requests discarded because the drive was dead
+
 	SeekTime     float64
 	RotTime      float64
 	TransferTime float64
 	OverheadTime float64 // per-command controller processing
+	RecoveryTime float64 // busy seconds spent in failed attempts + error recovery
 }
 
 // BusyTime reports total busy seconds at the drive.
 func (s Stats) BusyTime() float64 {
-	return s.SeekTime + s.RotTime + s.TransferTime + s.OverheadTime
+	return s.SeekTime + s.RotTime + s.TransferTime + s.OverheadTime + s.RecoveryTime
 }
 
 // Accesses reports total requests.
@@ -211,14 +222,21 @@ type Disk struct {
 
 	stats Stats
 
-	// kick and mediaDone are pre-bound events so the dispatch loop
-	// schedules without allocating a closure per operation. The drive
-	// services one media operation at a time (the busy flag gates the
-	// chain), so a single inflight slot suffices.
+	// kick, mediaDone and retry are pre-bound events so the dispatch
+	// loop schedules without allocating a closure per operation. The
+	// drive services one media operation at a time (the busy flag gates
+	// the chain), so a single inflight slot suffices.
 	kick          sim.Event
 	mediaDone     sim.Event
+	retry         sim.Event
 	inflight      Request
 	inflightCount int
+
+	// inj is the injected fault model (nil = faults off); attempt
+	// counts how many times the in-flight request's media access has
+	// failed so far.
+	inj     *fault.Injector
+	attempt int
 
 	// tr is the injected lifecycle tracer (nil = tracing off); raOrigin
 	// maps read-ahead blocks not yet re-referenced to the request that
@@ -260,6 +278,8 @@ func New(s *sim.Simulator, b *bus.Bus, id int, cfg Config) (*Disk, error) {
 	d.hdc = cache.NewHDCRegion(cfg.HDCBytes / cfg.Geom.BlockSize)
 	d.kick = func(sim.Time) { d.serviceNext() }
 	d.mediaDone = func(sim.Time) { d.finishMedia() }
+	d.retry = func(sim.Time) { d.startAttempt() }
+	d.inj = cfg.Injector
 	if cfg.Tracer != nil {
 		d.tr = cfg.Tracer
 		d.raOrigin = make(map[int64]probe.RequestID)
@@ -301,6 +321,8 @@ func (d *Disk) Sample() probe.DiskSample {
 		PinnedDirty:     d.hdc.DirtyCount(),
 		MediaBlocks:     d.stats.MediaBlocks,
 		RequestedBlocks: d.stats.RequestedBlocks,
+		Retries:         d.stats.Retries,
+		Remaps:          d.stats.Remaps,
 	}
 }
 
@@ -405,6 +427,17 @@ func (d *Disk) Submit(r Request) {
 		r.trace = d.tr.Begin(d.ID, r.PBA, r.Blocks, r.Write, d.sim.Now())
 		r.Done = d.completeHook(r.trace, r.Done)
 	}
+	if d.inj != nil && d.inj.Dead(d.sim.Now()) {
+		// A dead drive acknowledges nothing: the request is dropped and
+		// its Done never fires. Hosts that want to survive this arm a
+		// watchdog (host.Config.RequestTimeout) and redirect.
+		d.stats.Dropped++
+		if d.tr != nil && r.trace != 0 {
+			d.tr.Outcome(r.trace, probe.OutcomeDropped)
+			d.tr.Complete(r.trace, d.sim.Now())
+		}
+		return
+	}
 	bytes := r.Blocks * d.cfg.Geom.BlockSize
 	if r.Write {
 		d.stats.Writes++
@@ -463,6 +496,12 @@ func (d *Disk) enqueue(r Request) {
 
 // serviceNext pops one request and performs its media operation.
 func (d *Disk) serviceNext() {
+	if d.inj != nil && d.inj.Dead(d.sim.Now()) {
+		// The drive died with work queued: the queue strands (Done never
+		// fires for those requests) and the dispatch chain stops.
+		d.busy = false
+		return
+	}
 	item, ok := d.queue.Next(d.headCyl)
 	if !ok {
 		d.busy = false
@@ -486,12 +525,52 @@ func (d *Disk) serviceNext() {
 		return
 	}
 
+	d.inflight = r
+	d.attempt = 0
+	d.startAttempt()
+}
+
+// startAttempt performs one media attempt for the in-flight request.
+// Without a fault model this is the old one-shot media phase; with one,
+// the injector may fail the attempt, in which case the drive charges
+// the wasted mechanical time plus recovery latency to RecoveryTime and
+// reschedules itself after a capped exponential backoff. The retry
+// bound inside the injector guarantees forward progress.
+func (d *Disk) startAttempt() {
+	r := d.inflight
+	if d.inj != nil && d.inj.Dead(d.sim.Now()) {
+		// Death mid-retry: strand the request and stop the chain.
+		d.inflight = Request{}
+		d.busy = false
+		return
+	}
 	count := r.Blocks
 	if !r.Write {
 		count = d.readAheadCount(r)
 	}
 	acc := d.cfg.Geom.MediaOp(d.headCyl, r.PBA, count, d.sim.Now()+d.cfg.CommandOverhead)
 	d.headCyl = acc.EndCylinder
+	if d.inj != nil {
+		fail, remapped := d.inj.Attempt(r.PBA, count, d.attempt)
+		if remapped {
+			d.stats.Remaps++
+		}
+		if fail {
+			d.attempt++
+			d.stats.Retries++
+			// The failed attempt holds the drive busy for the full
+			// mechanical cost plus the drive's error recovery; the head
+			// has still moved, so the retry seeks distance zero.
+			cost := d.cfg.CommandOverhead + acc.Total() + d.inj.RecoveryLatency()
+			d.stats.RecoveryTime += cost
+			if d.tr != nil && r.trace != 0 {
+				d.tr.Retry(r.trace, d.sim.Now())
+			}
+			d.opEnd = d.sim.Now() + cost
+			d.sim.After(cost+d.inj.Backoff(d.attempt), d.retry)
+			return
+		}
+	}
 	d.stats.MediaOps++
 	d.stats.MediaBlocks += uint64(count)
 	d.stats.SeekTime += acc.SeekTime
@@ -508,7 +587,6 @@ func (d *Disk) serviceNext() {
 		}
 	}
 
-	d.inflight = r
 	d.inflightCount = count
 	d.opEnd = d.sim.Now() + d.cfg.CommandOverhead + acc.Total()
 	d.sim.After(d.cfg.CommandOverhead+acc.Total(), d.mediaDone)

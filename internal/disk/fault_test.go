@@ -1,0 +1,149 @@
+package disk
+
+import (
+	"testing"
+
+	"diskthru/internal/bus"
+	"diskthru/internal/fault"
+	"diskthru/internal/sim"
+)
+
+// faultConfig is baseConfig with no read-ahead, so MediaBlocks counts
+// exactly the requested blocks and attempts are easy to reason about.
+func faultConfig(p *fault.Profile) Config {
+	cfg := baseConfig()
+	cfg.ReadAhead = RANone
+	cfg.Org = OrgBlock
+	cfg.Injector = p.Injector(0)
+	return cfg
+}
+
+func TestRetryUntilBudgetExhausts(t *testing.T) {
+	// Rate 1: every attempt below the budget fails, so a single read
+	// costs exactly MaxRetries retries before the final attempt lands.
+	p := &fault.Profile{Seed: 1, MediaErrorRate: 1, MaxRetries: 3,
+		RecoveryLatency: 0.005, BackoffBase: 0.001, BackoffCap: 0.004}
+	s, d := newDisk(t, faultConfig(p))
+
+	plain := baseConfig()
+	plain.ReadAhead = RANone
+	plain.Org = OrgBlock
+	s2, d2 := newDisk(t, plain)
+
+	done := read(s, d, 100000, 4)
+	clean := read(s2, d2, 100000, 4)
+	if done <= 0 {
+		t.Fatal("faulted read never completed")
+	}
+	st := d.Stats()
+	if st.Retries != 3 {
+		t.Fatalf("Retries = %d, want 3", st.Retries)
+	}
+	if st.MediaOps != 1 || st.Reads != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.RecoveryTime <= 0 {
+		t.Fatalf("RecoveryTime = %v, want > 0", st.RecoveryTime)
+	}
+	// The faulted read must finish later than the clean one by at least
+	// the three recovery latencies plus the backoff waits.
+	if extra := done - clean; extra < 3*0.005+0.001+0.002+0.004 {
+		t.Fatalf("faulted read only %.6fs slower than clean", extra)
+	}
+	if st.BusyTime() <= d2.Stats().BusyTime() {
+		t.Fatal("RecoveryTime not reflected in BusyTime")
+	}
+}
+
+func TestLatentWindowRemapsOnDisk(t *testing.T) {
+	p := &fault.Profile{Latent: []fault.Range{{Disk: 0, Start: 100000, Blocks: 8}},
+		MaxRetries: 2}
+	s, d := newDisk(t, faultConfig(p))
+	if done := read(s, d, 100000, 4); done <= 0 {
+		t.Fatal("read into the latent window never completed")
+	}
+	st := d.Stats()
+	if st.Retries != 2 || st.Remaps != 1 {
+		t.Fatalf("Retries = %d Remaps = %d, want 2 and 1", st.Retries, st.Remaps)
+	}
+	// The remapped window serves the next read cleanly. New PBA within
+	// the window, not yet cached.
+	if done := read(s, d, 100004, 4); done <= 0 {
+		t.Fatal("post-remap read never completed")
+	}
+	if st := d.Stats(); st.Retries != 2 {
+		t.Fatalf("post-remap read retried: Retries = %d", st.Retries)
+	}
+}
+
+func TestDeadDiskDropsRequests(t *testing.T) {
+	p := &fault.Profile{Deaths: []fault.Death{{Disk: 0, At: 0.5}}}
+	s, d := newDisk(t, faultConfig(p))
+
+	// Before the death: served normally.
+	if done := read(s, d, 100000, 4); done <= 0 {
+		t.Fatal("pre-death read never completed")
+	}
+	// Advance past the death, then submit: dropped, Done never fires.
+	fired := false
+	s.After(1.0, func(sim.Time) {
+		d.Submit(Request{PBA: 200000, Blocks: 4, Done: func(sim.Time) { fired = true }})
+	})
+	s.Run()
+	if fired {
+		t.Fatal("dead disk completed a request")
+	}
+	st := d.Stats()
+	if st.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", st.Dropped)
+	}
+	if st.MediaOps != 1 {
+		t.Fatalf("MediaOps = %d, want only the pre-death op", st.MediaOps)
+	}
+}
+
+func TestDeathMidQueueStrandsButStops(t *testing.T) {
+	// Queue several reads, then die while they are being serviced. The
+	// simulation must still drain (no infinite retry chain), with the
+	// stranded requests never completing.
+	p := &fault.Profile{Deaths: []fault.Death{{Disk: 0, At: 0.002}}}
+	cfg := faultConfig(p)
+	s := sim.New()
+	b := bus.New(s, bus.Ultra160())
+	d, err := New(s, b, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	for i := 0; i < 8; i++ {
+		d.Submit(Request{PBA: int64(100000 + 64*i), Blocks: 4,
+			Done: func(sim.Time) { completed++ }})
+	}
+	s.Run()
+	if completed >= 8 {
+		t.Fatal("all requests completed despite the death")
+	}
+	if d.QueueLen() == 0 {
+		t.Fatal("expected stranded requests in the dead disk's queue")
+	}
+}
+
+func TestZeroRateInjectorIsByteIdentical(t *testing.T) {
+	// A configured-but-zero-rate profile must reproduce the no-model
+	// run exactly: same completion time, same stats.
+	p := &fault.Profile{Seed: 99}
+	s1, d1 := newDisk(t, faultConfig(p))
+	plain := baseConfig()
+	plain.ReadAhead = RANone
+	plain.Org = OrgBlock
+	s2, d2 := newDisk(t, plain)
+	for i := 0; i < 16; i++ {
+		pba := int64(100000 + 1000*i)
+		if a, b := read(s1, d1, pba, 4), read(s2, d2, pba, 4); a != b {
+			t.Fatalf("read %d: zero-rate %.9f vs plain %.9f", i, a, b)
+		}
+	}
+	if d1.Stats() != d2.Stats() {
+		t.Fatalf("stats diverged:\n%+v\n%+v", d1.Stats(), d2.Stats())
+	}
+}

@@ -38,3 +38,29 @@ func TestCtxCancelsDriverMidRun(t *testing.T) {
 		t.Fatal("driver did not stop after cancellation")
 	}
 }
+
+// TestCtxCancelsFaultedCellsMidRun cancels the faults driver while its
+// cells are retrying through injected media errors: the cancel poll must
+// interrupt disks that are mid-backoff, not wait for the retry chains to
+// drain.
+func TestCtxCancelsFaultedCellsMidRun(t *testing.T) {
+	opts := Quick()
+	opts.Parallelism = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	opts.Ctx = ctx
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Run("faults", opts)
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("faulted driver did not stop after cancellation")
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestFaultsZeroRateMatchesNoModel(t *testing.T) {
+	tb, err := Faults(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 runs with no fault model at all, row 1 with a zero-rate
+	// injector; the tentpole's "error paths are free" claim is that they
+	// agree exactly.
+	none, zero := tb.Rows[0], tb.Rows[1]
+	if none.Label != "none" || zero.Label != "rate 0" {
+		t.Fatalf("unexpected row order: %q, %q", none.Label, zero.Label)
+	}
+	for j, col := range tb.Columns {
+		if none.Values[j] != zero.Values[j] {
+			t.Errorf("column %q: no-model %v vs zero-rate %v", col, none.Values[j], zero.Values[j])
+		}
+	}
+	// Nonzero rates must actually retry, and retries cost time.
+	retries := tb.Column("FOR retries")
+	forr := tb.Column("FOR")
+	last := len(tb.Rows) - 1
+	if retries[last] == 0 {
+		t.Fatal("highest error rate produced no retries")
+	}
+	if forr[last] <= forr[0] {
+		t.Errorf("I/O time at the highest rate (%v) not above fault-free (%v)", forr[last], forr[0])
+	}
+}
+
+func TestDegradedServesReadsAfterDeath(t *testing.T) {
+	tb, err := Degraded(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := tb.Column("healthy (s)")
+	degraded := tb.Column("degraded (s)")
+	timeouts := tb.Column("timeouts")
+	redirects := tb.Column("redirects")
+	for i, r := range tb.Rows {
+		if degraded[i] <= healthy[i] {
+			t.Errorf("%s: degraded %v not slower than healthy %v", r.Label, degraded[i], healthy[i])
+		}
+		if timeouts[i] == 0 {
+			t.Errorf("%s: watchdog never fired", r.Label)
+		}
+		if redirects[i] == 0 {
+			t.Errorf("%s: nothing redirected to survivors", r.Label)
+		}
+		// The replay finished (a makespan exists) with a dead disk: the
+		// array kept serving reads off the survivors.
+		if degraded[i] <= 0 {
+			t.Errorf("%s: no makespan for the degraded run", r.Label)
+		}
+	}
+}
+
+func TestRegisterRejectsBadEntries(t *testing.T) {
+	if err := Register("", Faults); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := Register("new-driver", nil); err == nil {
+		t.Error("nil driver accepted")
+	}
+	if err := Register("faults", Faults); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}

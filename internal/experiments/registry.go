@@ -42,6 +42,8 @@ var registry = []struct {
 	{"ext-victim", ExtVictim},
 	{"ext-latency", ExtLatency},
 	{"ext-degraded", ExtDegraded},
+	{"faults", Faults},
+	{"degraded", Degraded},
 }
 
 // byName and sortedNames are derived from the registry once at init,

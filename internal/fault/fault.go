@@ -1,0 +1,272 @@
+// Package fault is the deterministic fault model for the simulated
+// array. A Profile describes, per disk, three failure classes real
+// arrays exhibit:
+//
+//   - transient media errors: any media access fails with a fixed
+//     probability and costs a recovery latency before the controller may
+//     retry;
+//   - latent sector errors: fixed PBA windows whose accesses always fail
+//     until the drive remaps them (which the model performs when the
+//     retry budget for an access is exhausted, as firmware does);
+//   - whole-disk death: at a scheduled virtual time the drive stops
+//     serving; queued and future requests are dropped.
+//
+// Determinism is the design constraint: every random draw comes from a
+// per-disk generator seeded from (Profile.Seed, disk id), and draws
+// happen in the disk's own event order, so a fixed seed reproduces the
+// exact same fault sequence run-to-run and at any experiment
+// parallelism. A zero MediaErrorRate performs no draws at all, which
+// makes a zero-rate profile behaviorally identical to no profile.
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"diskthru/internal/dist"
+)
+
+// Defaults applied by Injector for zero Profile fields.
+const (
+	// DefaultMaxRetries bounds media-error retries per access. A zero
+	// Profile.MaxRetries means this; a retry budget of zero would turn
+	// every fault into a no-op (use MediaErrorRate 0 for that).
+	DefaultMaxRetries = 4
+)
+
+// Range is a latent sector-error window: accesses touching
+// [Start, Start+Blocks) on the disk fail until the window is remapped.
+type Range struct {
+	Disk   int   `json:"disk"`
+	Start  int64 `json:"start"`
+	Blocks int64 `json:"blocks"`
+}
+
+// Death schedules a whole-disk failure: from virtual time At on, the
+// disk serves nothing.
+type Death struct {
+	Disk int     `json:"disk"`
+	At   float64 `json:"at"`
+}
+
+// Profile is one array-wide fault configuration. The zero value is a
+// valid "no faults" profile; Injector applies the documented defaults
+// to zero tuning fields. Profiles are read-only once built: many
+// concurrent runs may derive Injectors from one Profile.
+type Profile struct {
+	// Seed derives every per-disk fault generator.
+	Seed int64 `json:"seed,omitempty"`
+	// MediaErrorRate is the per-access transient failure probability,
+	// in [0, 1]. Zero disables transient errors without consuming any
+	// randomness.
+	MediaErrorRate float64 `json:"media_error_rate,omitempty"`
+	// RecoveryLatency is the extra time (seconds) a failed access holds
+	// the drive busy before the controller may retry — the drive's
+	// internal error processing and re-read window.
+	RecoveryLatency float64 `json:"recovery_latency,omitempty"`
+	// MaxRetries bounds retries per access; the attempt after the last
+	// retry always succeeds (remapping any latent window it hit). Zero
+	// means DefaultMaxRetries.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// BackoffBase and BackoffCap shape the capped exponential backoff
+	// between retries (seconds): retry n waits
+	// min(BackoffBase*2^(n-1), BackoffCap).
+	BackoffBase float64 `json:"backoff_base,omitempty"`
+	BackoffCap  float64 `json:"backoff_cap,omitempty"`
+	// Latent lists the latent sector-error windows.
+	Latent []Range `json:"latent,omitempty"`
+	// Deaths lists the scheduled whole-disk failures.
+	Deaths []Death `json:"deaths,omitempty"`
+}
+
+// Validate reports structural errors. Disk indices are only checked for
+// non-negativity here; ValidateFor additionally bounds them by the
+// array width.
+func (p *Profile) Validate() error {
+	switch {
+	case p.MediaErrorRate < 0 || p.MediaErrorRate > 1 || math.IsNaN(p.MediaErrorRate):
+		return fmt.Errorf("fault: media error rate %v outside [0, 1]", p.MediaErrorRate)
+	case p.RecoveryLatency < 0 || math.IsInf(p.RecoveryLatency, 0) || math.IsNaN(p.RecoveryLatency):
+		return fmt.Errorf("fault: recovery latency %v", p.RecoveryLatency)
+	case p.MaxRetries < 0:
+		return fmt.Errorf("fault: negative retry bound %d", p.MaxRetries)
+	case p.BackoffBase < 0 || math.IsInf(p.BackoffBase, 0) || math.IsNaN(p.BackoffBase):
+		return fmt.Errorf("fault: backoff base %v", p.BackoffBase)
+	case p.BackoffCap < 0 || math.IsInf(p.BackoffCap, 0) || math.IsNaN(p.BackoffCap):
+		return fmt.Errorf("fault: backoff cap %v", p.BackoffCap)
+	}
+	for i, r := range p.Latent {
+		switch {
+		case r.Disk < 0:
+			return fmt.Errorf("fault: latent range %d on disk %d", i, r.Disk)
+		case r.Start < 0:
+			return fmt.Errorf("fault: latent range %d starts at block %d", i, r.Start)
+		case r.Blocks <= 0:
+			return fmt.Errorf("fault: latent range %d of %d blocks", i, r.Blocks)
+		}
+	}
+	for i, d := range p.Deaths {
+		switch {
+		case d.Disk < 0:
+			return fmt.Errorf("fault: death %d on disk %d", i, d.Disk)
+		case d.At < 0 || math.IsInf(d.At, 0) || math.IsNaN(d.At):
+			return fmt.Errorf("fault: death %d at time %v", i, d.At)
+		}
+	}
+	return nil
+}
+
+// ValidateFor is Validate plus a bound check of every disk index
+// against an array of the given width.
+func (p *Profile) ValidateFor(disks int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for i, r := range p.Latent {
+		if r.Disk >= disks {
+			return fmt.Errorf("fault: latent range %d on disk %d of a %d-disk array", i, r.Disk, disks)
+		}
+	}
+	for i, d := range p.Deaths {
+		if d.Disk >= disks {
+			return fmt.Errorf("fault: death %d on disk %d of a %d-disk array", i, d.Disk, disks)
+		}
+	}
+	return nil
+}
+
+// ParseProfile decodes a strict-JSON profile: unknown fields, trailing
+// data and structurally invalid values are all errors, so a config file
+// typo cannot silently disable the fault it meant to inject.
+func ParseProfile(data []byte) (*Profile, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	p := new(Profile)
+	if err := dec.Decode(p); err != nil {
+		return nil, fmt.Errorf("fault: parse profile: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("fault: trailing data after profile")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Normalize "present but empty" lists to absent so a parsed profile
+	// survives a marshal/parse round trip (omitempty drops empty slices).
+	if len(p.Latent) == 0 {
+		p.Latent = nil
+	}
+	if len(p.Deaths) == 0 {
+		p.Deaths = nil
+	}
+	return p, nil
+}
+
+// maxRetries resolves the retry budget.
+func (p *Profile) maxRetries() int {
+	if p.MaxRetries <= 0 {
+		return DefaultMaxRetries
+	}
+	return p.MaxRetries
+}
+
+// span is one latent window on a single disk, live until remapped.
+type span struct {
+	start, end int64 // [start, end)
+	remapped   bool
+}
+
+// Injector is one disk's view of a Profile: the drive consults it on
+// every media attempt. Injectors are stateful (latent-window remap
+// flags, the transient-error generator) and belong to exactly one disk
+// of one run; derive fresh ones per run from the shared Profile.
+type Injector struct {
+	rate       float64
+	recovery   float64
+	maxRetries int
+	base, cap  float64
+	deathAt    float64
+	latent     []span
+	rng        *rand.Rand // nil when rate == 0: zero-rate profiles draw nothing
+}
+
+// Injector builds disk's injector. The generator seed mixes the profile
+// seed with the disk id so disks fail independently but reproducibly.
+func (p *Profile) Injector(disk int) *Injector {
+	in := &Injector{
+		rate:       p.MediaErrorRate,
+		recovery:   p.RecoveryLatency,
+		maxRetries: p.maxRetries(),
+		base:       p.BackoffBase,
+		cap:        p.BackoffCap,
+		deathAt:    math.Inf(1),
+	}
+	for _, r := range p.Latent {
+		if r.Disk == disk {
+			in.latent = append(in.latent, span{start: r.Start, end: r.Start + r.Blocks})
+		}
+	}
+	for _, d := range p.Deaths {
+		if d.Disk == disk && d.At < in.deathAt {
+			in.deathAt = d.At
+		}
+	}
+	if in.rate > 0 {
+		// Golden-ratio mix keeps adjacent disks' streams unrelated even
+		// for adjacent profile seeds.
+		in.rng = dist.NewRand(int64(uint64(p.Seed) + uint64(disk+1)*0x9e3779b97f4a7c15))
+	}
+	return in
+}
+
+// Dead reports whether the disk has reached its scheduled death.
+func (in *Injector) Dead(now float64) bool { return now >= in.deathAt }
+
+// RecoveryLatency is the busy time a failed attempt adds at the drive.
+func (in *Injector) RecoveryLatency() float64 { return in.recovery }
+
+// Backoff is the idle wait before retry attempt (1-based):
+// min(base*2^(attempt-1), cap).
+func (in *Injector) Backoff(attempt int) float64 {
+	if in.base <= 0 {
+		return 0
+	}
+	d := in.base * math.Pow(2, float64(attempt-1))
+	if in.cap > 0 && d > in.cap {
+		d = in.cap
+	}
+	return d
+}
+
+// Attempt decides the fate of one media access covering
+// [pba, pba+blocks); attempt is how many times this access has already
+// failed. The attempt that exhausts the retry budget always succeeds —
+// remapping any live latent window it touches, as drive firmware
+// reallocates sectors after persistent read errors — so every queued
+// request makes forward progress on a live disk.
+func (in *Injector) Attempt(pba int64, blocks int, attempt int) (fail, remapped bool) {
+	end := pba + int64(blocks)
+	if attempt >= in.maxRetries {
+		for i := range in.latent {
+			s := &in.latent[i]
+			if !s.remapped && pba < s.end && s.start < end {
+				s.remapped = true
+				remapped = true
+			}
+		}
+		return false, remapped
+	}
+	for i := range in.latent {
+		s := &in.latent[i]
+		if !s.remapped && pba < s.end && s.start < end {
+			return true, false
+		}
+	}
+	if in.rate > 0 && in.rng.Float64() < in.rate {
+		return true, false
+	}
+	return false, false
+}

@@ -1,0 +1,185 @@
+package fault
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	cases := map[string]Profile{
+		"rate above 1":    {MediaErrorRate: 1.5},
+		"negative rate":   {MediaErrorRate: -0.1},
+		"nan rate":        {MediaErrorRate: math.NaN()},
+		"neg recovery":    {RecoveryLatency: -1},
+		"neg retries":     {MaxRetries: -1},
+		"neg backoff":     {BackoffBase: -1},
+		"neg cap":         {BackoffCap: -1},
+		"latent neg disk": {Latent: []Range{{Disk: -1, Start: 0, Blocks: 1}}},
+		"latent neg pba":  {Latent: []Range{{Disk: 0, Start: -1, Blocks: 1}}},
+		"latent empty":    {Latent: []Range{{Disk: 0, Start: 0, Blocks: 0}}},
+		"death neg disk":  {Deaths: []Death{{Disk: -1, At: 1}}},
+		"death neg time":  {Deaths: []Death{{Disk: 0, At: -1}}},
+	}
+	for name, p := range cases {
+		p := p
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, p)
+		}
+	}
+	ok := Profile{Seed: 1, MediaErrorRate: 0.01, RecoveryLatency: 0.005,
+		Latent: []Range{{Disk: 3, Start: 100, Blocks: 50}},
+		Deaths: []Death{{Disk: 2, At: 1.5}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("Validate rejected a good profile: %v", err)
+	}
+	if err := ok.ValidateFor(8); err != nil {
+		t.Fatalf("ValidateFor(8) rejected a good profile: %v", err)
+	}
+	if err := ok.ValidateFor(2); err == nil {
+		t.Fatal("ValidateFor(2) accepted disk index 3")
+	}
+}
+
+func TestParseProfileStrictness(t *testing.T) {
+	good := []byte(`{"seed": 7, "media_error_rate": 0.01, "deaths": [{"disk": 2, "at": 3.5}]}`)
+	p, err := ParseProfile(good)
+	if err != nil {
+		t.Fatalf("ParseProfile(good): %v", err)
+	}
+	if p.Seed != 7 || p.MediaErrorRate != 0.01 || len(p.Deaths) != 1 || p.Deaths[0].Disk != 2 {
+		t.Fatalf("ParseProfile decoded %+v", p)
+	}
+	bad := map[string]string{
+		"unknown field": `{"media_error_rat": 0.01}`,
+		"trailing data": `{"seed": 1} {"seed": 2}`,
+		"truncated":     `{"seed": 1`,
+		"wrong type":    `{"seed": "one"}`,
+		"invalid value": `{"media_error_rate": 2}`,
+	}
+	for name, body := range bad {
+		if _, err := ParseProfile([]byte(body)); err == nil {
+			t.Errorf("%s: ParseProfile accepted %q", name, body)
+		}
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	p := &Profile{Seed: 42, MediaErrorRate: 0.3}
+	a, b := p.Injector(1), p.Injector(1)
+	other := p.Injector(2)
+	same, differ := true, false
+	for i := 0; i < 1000; i++ {
+		fa, _ := a.Attempt(int64(i), 8, 0)
+		fb, _ := b.Attempt(int64(i), 8, 0)
+		fo, _ := other.Attempt(int64(i), 8, 0)
+		if fa != fb {
+			same = false
+		}
+		if fa != fo {
+			differ = true
+		}
+	}
+	if !same {
+		t.Fatal("two injectors for the same (seed, disk) disagreed")
+	}
+	if !differ {
+		t.Fatal("injectors for different disks produced identical fault streams")
+	}
+}
+
+func TestZeroRateDrawsNothing(t *testing.T) {
+	in := (&Profile{Seed: 1}).Injector(0)
+	if in.rng != nil {
+		t.Fatal("zero-rate injector allocated a generator")
+	}
+	for i := 0; i < 100; i++ {
+		if fail, _ := in.Attempt(int64(i), 4, 0); fail {
+			t.Fatal("zero-rate injector failed an access")
+		}
+	}
+}
+
+func TestLatentRangeFailsUntilRemapped(t *testing.T) {
+	p := &Profile{Latent: []Range{{Disk: 0, Start: 100, Blocks: 10}}, MaxRetries: 3}
+	in := p.Injector(0)
+	// Outside the window: clean.
+	if fail, _ := in.Attempt(0, 50, 0); fail {
+		t.Fatal("access outside the latent window failed")
+	}
+	// Overlapping accesses fail on every attempt below the budget.
+	for attempt := 0; attempt < 3; attempt++ {
+		fail, remapped := in.Attempt(95, 10, attempt)
+		if !fail || remapped {
+			t.Fatalf("attempt %d: fail=%v remapped=%v, want failure", attempt, fail, remapped)
+		}
+	}
+	// The budget-exhausting attempt succeeds and remaps.
+	fail, remapped := in.Attempt(95, 10, 3)
+	if fail || !remapped {
+		t.Fatalf("final attempt: fail=%v remapped=%v, want remap+success", fail, remapped)
+	}
+	// The window no longer fails anything.
+	if fail, _ := in.Attempt(100, 10, 0); fail {
+		t.Fatal("remapped window still failing")
+	}
+}
+
+func TestDeathAndBackoff(t *testing.T) {
+	p := &Profile{Deaths: []Death{{Disk: 2, At: 5}, {Disk: 2, At: 9}},
+		BackoffBase: 0.001, BackoffCap: 0.003}
+	in := p.Injector(2)
+	if in.Dead(4.9) {
+		t.Fatal("dead before schedule")
+	}
+	if !in.Dead(5) || !in.Dead(100) {
+		t.Fatal("not dead after schedule")
+	}
+	if (&Profile{}).Injector(0).Dead(1e12) {
+		t.Fatal("disk with no scheduled death died")
+	}
+	for i, want := range []float64{0.001, 0.002, 0.003, 0.003} {
+		if got := in.Backoff(i + 1); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Backoff(%d) = %v, want %v", i+1, got, want)
+		}
+	}
+	if got := (&Profile{}).Injector(0).Backoff(3); got != 0 {
+		t.Fatalf("zero-base backoff = %v, want 0", got)
+	}
+}
+
+func TestTransientErrorsBoundedByBudget(t *testing.T) {
+	in := (&Profile{Seed: 9, MediaErrorRate: 1, MaxRetries: 2}).Injector(0)
+	if fail, _ := in.Attempt(0, 4, 0); !fail {
+		t.Fatal("rate-1 attempt 0 succeeded")
+	}
+	if fail, _ := in.Attempt(0, 4, 1); !fail {
+		t.Fatal("rate-1 attempt 1 succeeded")
+	}
+	fail, remapped := in.Attempt(0, 4, 2)
+	if fail {
+		t.Fatal("budget-exhausting attempt failed")
+	}
+	if remapped {
+		t.Fatal("transient error reported a remap")
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	p := &Profile{Seed: 3, MediaErrorRate: 0.02, RecoveryLatency: 0.005,
+		MaxRetries: 5, BackoffBase: 0.001, BackoffCap: 0.02,
+		Latent: []Range{{Disk: 1, Start: 10, Blocks: 20}},
+		Deaths: []Death{{Disk: 0, At: 2.5}}}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseProfile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatalf("round trip changed the profile:\n%+v\n%+v", p, back)
+	}
+}

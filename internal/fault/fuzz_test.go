@@ -1,0 +1,43 @@
+package fault
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseProfile hardens the fault-config parser against corrupt
+// inputs: ParseProfile must either return a profile that passes
+// Validate or an error — never panic, never accept a structurally
+// invalid fault model.
+func FuzzParseProfile(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"seed": 42, "media_error_rate": 0.01, "recovery_latency": 0.005}`))
+	f.Add([]byte(`{"latent": [{"disk": 0, "start": 100, "blocks": 50}], "deaths": [{"disk": 2, "at": 1.5}]}`))
+	f.Add([]byte(`{"media_error_rate": 2}`))
+	f.Add([]byte(`{"seed": 1} trailing`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1, 2, 3]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseProfile(data)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("parsed profile fails its own Validate: %v", err)
+		}
+		// A successful parse must survive a marshal/parse round trip.
+		out, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		back, err := ParseProfile(out)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("round trip changed the profile:\n%+v\n%+v", p, back)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package fslayout
+
+import (
+	"fmt"
+
+	"diskthru/internal/array"
+)
+
+// SpareRun is one redirected extent: Blocks physical blocks at PBA on a
+// surviving disk.
+type SpareRun struct {
+	Disk   int
+	PBA    int64
+	Blocks int
+}
+
+// SpareLayout re-homes a failed disk's physical blocks onto the
+// surviving disks, for arrays without mirroring: the failed disk's
+// address space is cut into striping-unit chunks dealt round-robin
+// across the survivors, each landing in a spare region at the tail of
+// the survivor's physical space. The volume normally fills the array,
+// so there is no formally reserved spare space; the tail blocks are the
+// coldest under grouped allocation, and this is a throughput simulator
+// — an overlap with live data costs nothing but realism in head
+// position, and the mapping is exactly reproducible.
+//
+// The survivor set is fixed at construction; when another disk dies the
+// host builds a fresh layout over the remaining survivors.
+type SpareLayout struct {
+	unit       int
+	survivors  []int
+	spareStart int64
+}
+
+// NewSpareLayout builds the re-homing map for failed's blocks over the
+// disks of s that are not down. down may be nil (only failed is down);
+// failed is excluded from the survivors regardless of down[failed].
+func NewSpareLayout(s array.Striper, diskBlocks int64, failed int, down []bool) (*SpareLayout, error) {
+	if failed < 0 || failed >= s.Disks {
+		return nil, fmt.Errorf("fslayout: spare layout for disk %d of %d", failed, s.Disks)
+	}
+	if diskBlocks <= 0 {
+		return nil, fmt.Errorf("fslayout: spare layout over %d blocks per disk", diskBlocks)
+	}
+	sl := &SpareLayout{unit: s.UnitBlocks}
+	for i := 0; i < s.Disks; i++ {
+		if i == failed || (down != nil && i < len(down) && down[i]) {
+			continue
+		}
+		sl.survivors = append(sl.survivors, i)
+	}
+	if len(sl.survivors) == 0 {
+		return nil, fmt.Errorf("fslayout: no survivors to re-home disk %d", failed)
+	}
+	unit := int64(sl.unit)
+	chunks := (diskBlocks + unit - 1) / unit
+	k := int64(len(sl.survivors))
+	span := ((chunks + k - 1) / k) * unit
+	sl.spareStart = diskBlocks - span
+	if sl.spareStart < 0 {
+		return nil, fmt.Errorf("fslayout: %d survivors cannot hold %d re-homed blocks in %d",
+			len(sl.survivors), diskBlocks, diskBlocks)
+	}
+	return sl, nil
+}
+
+// Locate maps one block of the failed disk to its new home.
+func (sl *SpareLayout) Locate(pba int64) (disk int, spare int64) {
+	unit := int64(sl.unit)
+	chunk := pba / unit
+	k := int64(len(sl.survivors))
+	disk = sl.survivors[chunk%k]
+	spare = sl.spareStart + (chunk/k)*unit + pba%unit
+	return disk, spare
+}
+
+// Split decomposes [pba, pba+blocks) of the failed disk into contiguous
+// extents on the survivors, appending to dst. Consecutive chunks land
+// on different survivors, so a run produces one extent per chunk it
+// touches.
+func (sl *SpareLayout) Split(dst []SpareRun, pba int64, blocks int) []SpareRun {
+	unit := int64(sl.unit)
+	for blocks > 0 {
+		inChunk := int(unit - pba%unit)
+		n := inChunk
+		if n > blocks {
+			n = blocks
+		}
+		d, spare := sl.Locate(pba)
+		dst = append(dst, SpareRun{Disk: d, PBA: spare, Blocks: n})
+		pba += int64(n)
+		blocks -= n
+	}
+	return dst
+}

@@ -1,0 +1,86 @@
+package fslayout
+
+import (
+	"testing"
+
+	"diskthru/internal/array"
+)
+
+func TestSpareLayoutMapsIntoSurvivorTails(t *testing.T) {
+	s := array.NewStriper(8, 32)
+	const diskBlocks = 4718560
+	sl, err := NewSpareLayout(s, diskBlocks, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[[2]int64]int64)
+	for pba := int64(0); pba < diskBlocks; pba += 997 {
+		d, spare := sl.Locate(pba)
+		if d == 2 {
+			t.Fatalf("block %d redirected to the failed disk", pba)
+		}
+		if d < 0 || d >= 8 {
+			t.Fatalf("block %d redirected to disk %d", pba, d)
+		}
+		if spare < sl.spareStart || spare >= diskBlocks {
+			t.Fatalf("block %d lands at %d, outside the spare region [%d, %d)",
+				pba, spare, sl.spareStart, diskBlocks)
+		}
+		key := [2]int64{int64(d), spare}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("blocks %d and %d both map to disk %d block %d", prev, pba, d, spare)
+		}
+		seen[key] = pba
+	}
+}
+
+func TestSpareLayoutSplitCoversRun(t *testing.T) {
+	s := array.NewStriper(4, 32)
+	sl, err := NewSpareLayout(s, 1<<20, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A run crossing two chunk boundaries yields three extents whose
+	// sizes sum to the run and whose blocks match Locate block-by-block.
+	runs := sl.Split(nil, 30, 40)
+	total := 0
+	pba := int64(30)
+	for _, r := range runs {
+		if r.Blocks <= 0 {
+			t.Fatalf("empty extent %+v", r)
+		}
+		for i := 0; i < r.Blocks; i++ {
+			d, spare := sl.Locate(pba)
+			if d != r.Disk || spare != r.PBA+int64(i) {
+				t.Fatalf("block %d: extent says (%d, %d), Locate says (%d, %d)",
+					pba, r.Disk, r.PBA+int64(i), d, spare)
+			}
+			pba++
+		}
+		total += r.Blocks
+	}
+	if total != 40 {
+		t.Fatalf("extents cover %d blocks, want 40", total)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("expected 3 extents for a run crossing 2 chunk boundaries, got %d", len(runs))
+	}
+}
+
+func TestSpareLayoutExcludesDownDisks(t *testing.T) {
+	s := array.NewStriper(4, 16)
+	down := []bool{false, true, false, true}
+	sl, err := NewSpareLayout(s, 1<<20, 1, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pba := int64(0); pba < 4096; pba += 7 {
+		d, _ := sl.Locate(pba)
+		if d != 0 && d != 2 {
+			t.Fatalf("block %d redirected to down disk %d", pba, d)
+		}
+	}
+	if _, err := NewSpareLayout(s, 1<<20, 1, []bool{true, true, true, true}); err == nil {
+		t.Fatal("layout with no survivors built successfully")
+	}
+}

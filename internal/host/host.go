@@ -74,6 +74,20 @@ type Config struct {
 	// of being driven as fast as the streams allow, and per-record
 	// response times are collected in Latencies.
 	ArrivalRate float64
+	// RequestTimeout, when positive, arms a per-request watchdog: a
+	// sub-request not completed within this many virtual seconds marks
+	// its disk down and is redirected to the survivors through a spare
+	// layout (degraded-mode striping; see fslayout.SpareLayout). Pick a
+	// value comfortably above the worst healthy queueing delay — a
+	// too-tight timeout declares healthy disks dead. Requires DiskBlocks
+	// and an unmirrored array (RAID-1 has its own FailDisk path). Zero
+	// (the default) disables the watchdog and its per-request cost
+	// entirely.
+	RequestTimeout float64
+	// DiskBlocks is each drive's physical capacity in blocks, bounding
+	// the spare regions the redirector maps into. Required when
+	// RequestTimeout is set.
+	DiskBlocks int64
 }
 
 // replicas normalizes the mirroring degree.
@@ -97,6 +111,17 @@ func (c Config) Validate() error {
 	}
 	if c.ArrivalRate < 0 {
 		return fmt.Errorf("host: negative arrival rate")
+	}
+	if c.RequestTimeout < 0 {
+		return fmt.Errorf("host: negative request timeout")
+	}
+	if c.RequestTimeout > 0 {
+		if c.replicas() > 1 {
+			return fmt.Errorf("host: request timeout supports only unmirrored arrays")
+		}
+		if c.DiskBlocks <= 0 {
+			return fmt.Errorf("host: request timeout requires the per-disk capacity (DiskBlocks)")
+		}
 	}
 	return nil
 }
@@ -136,7 +161,40 @@ type Host struct {
 	// Latencies holds per-record response times, populated only by
 	// open-loop replays (ArrivalRate > 0).
 	Latencies []float64
+
+	// Degraded-mode state, allocated only when RequestTimeout > 0:
+	// down marks disks the watchdog declared dead, timeouts counts the
+	// watchdog firings per disk, and spares caches the re-homing layout
+	// per failed disk (invalidated whenever the down set grows, so a
+	// layout never targets a disk that has since died).
+	down     []bool
+	timeouts []uint64
+	spares   []*fslayout.SpareLayout
+	// redirects counts sub-requests re-issued to survivors; aborted
+	// counts those retired unserved because no disk was left.
+	redirects uint64
+	aborted   uint64
 }
+
+// Timeouts returns the per-disk watchdog firing counts (nil when the
+// watchdog is disabled).
+func (h *Host) Timeouts() []uint64 { return h.timeouts }
+
+// TimeoutCount reports one disk's watchdog firings, as a sampler
+// callback.
+func (h *Host) TimeoutCount(disk int) uint64 {
+	if h.timeouts == nil {
+		return 0
+	}
+	return h.timeouts[disk]
+}
+
+// Redirects reports sub-requests re-issued to surviving disks.
+func (h *Host) Redirects() uint64 { return h.redirects }
+
+// Aborted reports sub-requests retired unserved because every disk was
+// down.
+func (h *Host) Aborted() uint64 { return h.aborted }
 
 // Active reports how much work is in flight: streams still replaying
 // records (closed loop) or records not yet retired (open loop). A gauge
@@ -162,14 +220,20 @@ func New(s *sim.Simulator, disks []*disk.Disk, striper array.Striper, layout *fs
 		return nil, fmt.Errorf("host: %d disks but striper x%d replicas expects %d",
 			len(disks), cfg.replicas(), want)
 	}
-	return &Host{
+	h := &Host{
 		cfg:     cfg,
 		sim:     s,
 		disks:   disks,
 		striper: striper,
 		layout:  layout,
 		rng:     dist.NewRand(cfg.Seed),
-	}, nil
+	}
+	if cfg.RequestTimeout > 0 {
+		h.down = make([]bool, len(disks))
+		h.timeouts = make([]uint64, len(disks))
+		h.spares = make([]*fslayout.SpareLayout, len(disks))
+	}
+	return h, nil
 }
 
 // stream is one closed-loop replay stream: the record it is working on,
@@ -382,13 +446,96 @@ func (h *Host) submit(rec trace.Record, r subRequest, done sim.Event) {
 		}
 		return
 	}
-	h.IssuedRequests++
-	h.disks[base+h.pickReplica(base, replicas, r)].Submit(disk.Request{
-		PBA:    r.pba,
-		Blocks: r.blocks,
-		Write:  rec.Write,
-		Done:   done,
+	h.dispatch(base+h.pickReplica(base, replicas, r), r.pba, r.blocks, rec.Write, done)
+}
+
+// dispatch issues one sub-request to a physical disk. Without a request
+// timeout this is exactly the plain submit of the healthy path. With
+// one, the sub-request is guarded by a watchdog: if the disk neither
+// completes nor acknowledges it within RequestTimeout, the disk is
+// declared down and the blocks are re-issued to the survivors. The
+// resolved flag makes completion and expiry mutually exclusive.
+func (h *Host) dispatch(di int, pba int64, blocks int, write bool, done sim.Event) {
+	if h.cfg.RequestTimeout <= 0 {
+		h.IssuedRequests++
+		h.disks[di].Submit(disk.Request{PBA: pba, Blocks: blocks, Write: write, Done: done})
+		return
+	}
+	if h.down[di] {
+		h.redirect(di, pba, blocks, write, done)
+		return
+	}
+	resolved := new(bool)
+	h.sim.After(h.cfg.RequestTimeout, func(sim.Time) {
+		if *resolved {
+			return
+		}
+		*resolved = true
+		h.timeouts[di]++
+		h.markDown(di)
+		h.redirect(di, pba, blocks, write, done)
 	})
+	h.IssuedRequests++
+	h.disks[di].Submit(disk.Request{PBA: pba, Blocks: blocks, Write: write,
+		Done: func(now sim.Time) {
+			if *resolved {
+				return
+			}
+			*resolved = true
+			if done != nil {
+				done(now)
+			}
+		}})
+}
+
+// markDown records a disk death observed by the watchdog and drops the
+// cached spare layouts: the survivor set changed, so every re-homing
+// map must be rebuilt to exclude the new casualty.
+func (h *Host) markDown(di int) {
+	if h.down[di] {
+		return
+	}
+	h.down[di] = true
+	for i := range h.spares {
+		h.spares[i] = nil
+	}
+}
+
+// redirect re-issues a down disk's sub-request to the survivors through
+// the spare layout. Each extent re-enters dispatch, so a survivor that
+// has since died redirects again; when nothing is left the request is
+// retired unserved so the replay can finish and report the outage.
+func (h *Host) redirect(from int, pba int64, blocks int, write bool, done sim.Event) {
+	sp := h.spares[from]
+	if sp == nil {
+		var err error
+		sp, err = fslayout.NewSpareLayout(h.striper, h.cfg.DiskBlocks, from, h.down)
+		if err != nil {
+			// No survivors: retire the request unserved.
+			h.aborted++
+			if done != nil {
+				h.sim.After(0, done)
+			}
+			return
+		}
+		h.spares[from] = sp
+	}
+	h.redirects++
+	runs := sp.Split(nil, pba, blocks)
+	if len(runs) == 1 {
+		h.dispatch(runs[0].Disk, runs[0].PBA, runs[0].Blocks, write, done)
+		return
+	}
+	remaining := len(runs)
+	each := func(now sim.Time) {
+		remaining--
+		if remaining == 0 && done != nil {
+			done(now)
+		}
+	}
+	for _, r := range runs {
+		h.dispatch(r.Disk, r.PBA, r.Blocks, write, each)
+	}
 }
 
 // pickReplica chooses which mirror serves a read: a live replica whose

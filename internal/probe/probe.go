@@ -45,6 +45,9 @@ const (
 	OutcomeMediaWrite = "media-write"
 	// OutcomeFlushWrite: internal writeback issued by flush_hdc.
 	OutcomeFlushWrite = "flush-write"
+	// OutcomeDropped: request discarded because the drive was dead
+	// (fault injection; see internal/fault).
+	OutcomeDropped = "dropped"
 )
 
 // Tracer receives per-request lifecycle callbacks from a disk
@@ -74,6 +77,10 @@ type Tracer interface {
 	// ReadAheadUsed marks that a block this request read ahead later
 	// served a controller hit.
 	ReadAheadUsed(id RequestID)
+	// Retry records one failed media attempt (fault injection): the
+	// drive will retry the request after its error recovery + backoff.
+	// May arrive any number of times between Dispatch and Media.
+	Retry(id RequestID, now float64)
 	// Complete stamps the moment the request's data finished crossing
 	// the bus (reads) or its write was absorbed or committed.
 	Complete(id RequestID, now float64)
@@ -100,6 +107,9 @@ func (Nop) Outcome(RequestID, string) {}
 
 // ReadAheadUsed implements Tracer.
 func (Nop) ReadAheadUsed(RequestID) {}
+
+// Retry implements Tracer.
+func (Nop) Retry(RequestID, float64) {}
 
 // Complete implements Tracer.
 func (Nop) Complete(RequestID, float64) {}

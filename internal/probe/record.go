@@ -36,6 +36,9 @@ type Record struct {
 
 	// Outcome is one of the Outcome* tags.
 	Outcome string `json:"outcome"`
+	// Retries counts media attempts the fault model failed before the
+	// request's operation went through (0 when faults are off).
+	Retries int `json:"retries,omitempty"`
 	// RASpan counts blocks fetched beyond those requested; RAUseless is
 	// true when a read-ahead span never served a later controller hit.
 	RASpan    int  `json:"ra_span"`
@@ -108,6 +111,13 @@ func (r *Recorder) Outcome(id RequestID, outcome string) {
 func (r *Recorder) ReadAheadUsed(id RequestID) {
 	if rec := r.rec(id); rec != nil {
 		rec.raUsed = true
+	}
+}
+
+// Retry implements Tracer.
+func (r *Recorder) Retry(id RequestID, now float64) {
+	if rec := r.rec(id); rec != nil {
+		rec.Retries++
 	}
 }
 

@@ -27,6 +27,9 @@ type DiskSample struct {
 	Pinned, PinnedCap, PinnedDirty int
 	// MediaBlocks/RequestedBlocks are the cumulative traffic counters.
 	MediaBlocks, RequestedBlocks uint64
+	// Retries/Remaps are the cumulative fault-model counters (zero with
+	// faults off).
+	Retries, Remaps uint64
 }
 
 // DiskProbe is anything that can be sampled as a drive; *disk.Disk
@@ -47,6 +50,9 @@ type SamplerSources struct {
 	// HostCache reports the live host buffer cache's counters (live
 	// replay mode only).
 	HostCache func() bufcache.Counters
+	// DiskTimeouts reports the host watchdog's cumulative timeout count
+	// for one disk (degraded-mode runs only).
+	DiskTimeouts func(disk int) uint64
 }
 
 // metricsHeader is the CSV schema, documented in DESIGN.md.
@@ -58,6 +64,7 @@ var metricsHeader = []string{
 	"media_blocks", "req_blocks", "ra_efficiency",
 	"sim_events", "sim_pending", "bus_util",
 	"issued", "active", "host_hits", "host_misses",
+	"retries", "remaps", "timeouts",
 }
 
 // Sampler periodically snapshots every probe while the simulation runs
@@ -144,6 +151,11 @@ func (s *Sampler) sample(now float64) {
 		prev := s.prev[i]
 		s.prev[i] = cur
 
+		timeouts := ""
+		if s.src.DiskTimeouts != nil {
+			timeouts = strconv.FormatUint(s.src.DiskTimeouts(i), 10)
+		}
+
 		util := (cur.Busy - prev.Busy) / s.interval
 		occupancy := 0.0
 		if cur.StoreCap > 0 {
@@ -172,6 +184,7 @@ func (s *Sampler) sample(now float64) {
 			strconv.FormatUint(mediaDelta, 10), strconv.FormatUint(reqDelta, 10), raEff,
 			events, pending, busUtil,
 			issued, active, hostHits, hostMisses,
+			strconv.FormatUint(cur.Retries, 10), strconv.FormatUint(cur.Remaps, 10), timeouts,
 		})
 	}
 }

@@ -49,6 +49,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad job spec: " + err.Error()})
 		return
 	}
+	if dec.More() {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad job spec: trailing data after the JSON object"})
+		return
+	}
 	v, err := s.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):

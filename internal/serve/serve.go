@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -291,7 +292,7 @@ func (s *Server) execute(j *job) {
 	s.mu.Unlock()
 	s.cfg.Logf("serve: %s running (%s, timeout %v)", j.id, j.spec.Experiment, timeout)
 
-	result, err := s.cfg.Runner(ctx, j.spec)
+	result, err := s.runJob(ctx, j)
 	if err == nil && ctx.Err() == context.DeadlineExceeded {
 		// The runner finished its current cell after the deadline but
 		// before the poll; the job still missed its deadline.
@@ -331,6 +332,20 @@ func (s *Server) execute(j *job) {
 		s.failed++
 		s.cfg.Logf("serve: %s failed: %v", j.id, err)
 	}
+}
+
+// runJob invokes the runner with a panic fence: a driver that panics
+// marks its job failed instead of unwinding through the worker and
+// killing the daemon. The stack goes to the log, the panic value to the
+// job's error.
+func (s *Server) runJob(ctx context.Context, j *job) (result string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job panicked: %v", r)
+			s.cfg.Logf("serve: %s panic: %v\n%s", j.id, r, debug.Stack())
+		}
+	}()
+	return s.cfg.Runner(ctx, j.spec)
 }
 
 // jobContext builds the per-job context: cancellable always, with a

@@ -356,6 +356,83 @@ func TestForcedDrainCancelsStragglers(t *testing.T) {
 	}
 }
 
+// rawRequest POSTs an unencoded body, for malformed-JSON cases the
+// typed request helper cannot produce.
+func (h *harness) rawRequest(method, path, body string) (int, []byte) {
+	h.t.Helper()
+	req, err := http.NewRequest(method, h.ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// TestPanickingJobFailsWithoutKillingDaemon registers a driver that
+// panics, runs it through the real registry-backed runner, and requires
+// the job to end failed — with the panic message — while the daemon
+// keeps serving: a real experiment submitted afterwards must complete.
+func TestPanickingJobFailsWithoutKillingDaemon(t *testing.T) {
+	if err := experiments.Register("panic-test", func(experiments.Options) (*experiments.Table, error) {
+		panic("boom: deliberate test panic")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h := newHarness(t, Config{QueueCap: 4, Workers: 1})
+	v := h.submit(Spec{Experiment: "panic-test"})
+	v = h.await(v.ID, 10*time.Second, terminal)
+	if v.State != StateFailed {
+		t.Fatalf("panicking job ended %s, want failed", v.State)
+	}
+	if !strings.Contains(v.Error, "panicked") || !strings.Contains(v.Error, "boom") {
+		t.Fatalf("error %q does not carry the panic", v.Error)
+	}
+	// The worker survived: the daemon still runs real jobs.
+	v = h.submit(Spec{Experiment: "fig1", Quick: true, Parallelism: 1})
+	v = h.await(v.ID, 2*time.Minute, terminal)
+	if v.State != StateDone {
+		t.Fatalf("post-panic job ended %s: %s", v.State, v.Error)
+	}
+	if !strings.Contains(h.srv.Metrics(), `diskthru_jobs_total{state="failed"} 1`) {
+		t.Fatal("metrics did not count the panicked job as failed")
+	}
+}
+
+// TestMalformedSubmissionsRejected covers the raw-body 400 paths:
+// malformed JSON, trailing garbage, unknown driver, negative timeout —
+// each must produce a 400 with a JSON error body.
+func TestMalformedSubmissionsRejected(t *testing.T) {
+	h := newHarness(t, Config{QueueCap: 4})
+	for name, body := range map[string]string{
+		"malformed JSON":   `{"experiment": }`,
+		"truncated JSON":   `{"experiment": "fig1"`,
+		"trailing garbage": `{"experiment": "fig1"} {"again": true}`,
+		"unknown driver":   `{"experiment": "no-such-driver"}`,
+		"negative timeout": `{"experiment": "fig1", "timeout_seconds": -3}`,
+	} {
+		status, raw := h.rawRequest("POST", "/v1/jobs", body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", name, status, raw)
+			continue
+		}
+		var e apiError
+		if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: body %q is not a JSON error", name, raw)
+		}
+	}
+	if got := len(h.srv.List()); got != 0 {
+		t.Fatalf("%d jobs admitted from malformed submissions", got)
+	}
+}
+
 func TestBadSubmissions(t *testing.T) {
 	h := newHarness(t, Config{QueueCap: 4})
 	for name, body := range map[string]any{

@@ -45,6 +45,34 @@ func TestRunWithOpenCancelDrainsNormally(t *testing.T) {
 	}
 }
 
+// TestCancelDuringSparseBackoffChain models a faulted disk mid-backoff:
+// a sparse chain of widely-spaced retry events with the cancel channel
+// closing at a simulated instant. Run must stop within one poll window
+// of the close, not grind through the rest of the chain — the shape a
+// fault-injected replay has when every access is retrying.
+func TestCancelDuringSparseBackoffChain(t *testing.T) {
+	s := New()
+	done := make(chan struct{})
+	var retry Event
+	retry = func(now Time) { s.After(0.05, retry) } // perpetual backoff-retry chain
+	s.After(0.05, retry)
+	s.At(1.0, func(Time) { close(done) }) // cancellation arrives mid-backoff
+	s.SetCancel(done)
+	s.Run()
+	if !s.Cancelled() {
+		t.Fatal("run did not cancel")
+	}
+	// ~20 retry events fire before the close; after it, at most one poll
+	// window of events may slip through.
+	if s.Processed() > 21+cancelCheckEvery {
+		t.Fatalf("processed %d events, want prompt stop after the close (check interval %d)",
+			s.Processed(), cancelCheckEvery)
+	}
+	if s.Pending() == 0 {
+		t.Fatal("cancelled retry chain left no pending events")
+	}
+}
+
 func TestSetCancelNilRestoresUncancellableRun(t *testing.T) {
 	s := New()
 	perpetual(s)

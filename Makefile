@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench fuzz serve-smoke
+.PHONY: check vet build test race bench bench-compare fuzz profile serve-smoke
 
 check: vet build race fuzz serve-smoke
 
@@ -21,18 +21,37 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz budgets over the two untrusted input surfaces: trace files
-# and fault-profile JSON. Go runs one fuzz target per invocation.
+# Short fuzz budgets over the two untrusted input surfaces (trace files
+# and fault-profile JSON) plus the event-queue equivalence property:
+# the calendar queue must pop in exactly the reference heap's
+# (time, seq) order on adversarial schedules. Go runs one fuzz target
+# per invocation.
 fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s
 	$(GO) test ./internal/fault -run '^$$' -fuzz '^FuzzParseProfile$$' -fuzztime 10s
+	$(GO) test ./internal/sim -run '^$$' -fuzz '^FuzzCalendarQueueEquivalence$$' -fuzztime 10s
 
-# One pass over every benchmark at Quick scale; the parsed numbers land
-# in BENCH_quick.json for cross-commit comparison. The fault and
-# degraded drivers report separately in BENCH_faults.json.
+# Three passes over every benchmark at Quick scale; benchjson keeps the
+# fastest run of each, and the parsed numbers land in BENCH_quick.json
+# for cross-commit comparison. The fault and degraded drivers report
+# separately in BENCH_faults.json.
 bench:
-	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_quick.json
-	$(GO) test -bench '^Benchmark(Faults|Degraded)$$' -benchmem -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_faults.json
+	$(GO) test -bench . -benchmem -benchtime 1x -count 3 -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_quick.json
+	$(GO) test -bench '^Benchmark(Faults|Degraded)$$' -benchmem -benchtime 1x -count 3 -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_faults.json
+
+# Re-run the full benchmark pass (best of three, like bench) and diff
+# simulator-cost metrics (ns/op, allocs/op) against the committed
+# baselines; fails on a regression beyond benchjson's default
+# threshold. See cmd/benchjson.
+bench-compare:
+	$(GO) test -bench . -benchmem -benchtime 1x -count 3 -run '^$$' . | $(GO) run ./cmd/benchjson -compare BENCH_quick.json
+	$(GO) test -bench '^Benchmark(Faults|Degraded)$$' -benchmem -benchtime 1x -count 3 -run '^$$' . | $(GO) run ./cmd/benchjson -compare BENCH_faults.json
+
+# CPU and heap profiles of the Table 2 pipeline (the hottest full-system
+# path: all three workloads against both systems). Inspect with
+# `go tool pprof cpu.prof`.
+profile:
+	$(GO) run ./cmd/diskthru -experiment table2 -quick -cpuprofile cpu.prof -memprofile mem.prof
 
 # End-to-end daemon smoke test: boot diskthrud on an ephemeral port,
 # run fig1 -quick through diskthru-client, require a non-empty table.

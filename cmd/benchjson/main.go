@@ -8,12 +8,22 @@
 // Every value/unit pair on a benchmark line is kept, so ns/op, B/op,
 // allocs/op and custom ReportMetric units (file%, web%, ...) all land in
 // the JSON. Input lines are echoed to stdout so the run stays readable.
+// When a benchmark appears multiple times (go test -count N), the
+// fastest run by ns/op wins — the minimum is the standard noise-robust
+// estimator of a benchmark's true cost, and it keeps single-digit-
+// millisecond benchmarks from gating on scheduler jitter.
 //
 // Each benchmark additionally records its "parallelism" (the -N CPU
 // suffix go test prints; 1 when absent), and a synthetic "_env" entry
 // captures GOMAXPROCS and runtime.NumCPU() of the converting process —
 // `make bench` runs it in the same pipeline on the same machine — so
 // the bench trajectory stays interpretable across machines.
+//
+// With -compare old.json the parsed results are additionally diffed
+// against a previously written file (see `make bench-compare`): each
+// shared benchmark's ns/op and allocs/op deltas print as a table, and
+// the exit status is nonzero when any metric regresses by more than
+// -threshold percent — so a perf PR can gate on its own baseline.
 package main
 
 import (
@@ -24,8 +34,10 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // benchLine matches e.g.
@@ -38,6 +50,8 @@ var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`
 
 func main() {
 	out := flag.String("o", "", "write the JSON here (default stdout)")
+	compareWith := flag.String("compare", "", "diff ns/op and allocs/op against this baseline JSON; exit nonzero on regression")
+	threshold := flag.Float64("threshold", 10, "regression tolerance for -compare, in percent")
 	flag.Parse()
 
 	results := make(map[string]map[string]float64)
@@ -71,6 +85,13 @@ func main() {
 			}
 			metrics[fields[i+1]] = v
 		}
+		if prev, seen := results[m[1]]; seen {
+			if pn, ok := prev["ns/op"]; ok {
+				if nn, ok := metrics["ns/op"]; ok && nn >= pn {
+					continue // keep the faster of repeated runs
+				}
+			}
+		}
 		results[m[1]] = metrics
 	}
 	if err := sc.Err(); err != nil {
@@ -94,12 +115,99 @@ func main() {
 		os.Exit(1)
 	}
 	buf = append(buf, '\n')
-	if *out == "" {
+	switch {
+	case *out != "":
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	case *compareWith == "":
+		// Comparison runs usually gate rather than record; only dump the
+		// JSON when nothing else consumes the results.
 		os.Stdout.Write(buf)
-		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if *compareWith != "" {
+		if !compare(*compareWith, results, *threshold) {
+			os.Exit(1)
+		}
+	}
+}
+
+// compareMetrics are the value/unit pairs a -compare run diffs; the
+// rest (MB/s, custom ReportMetric units) describe the simulated system,
+// not the simulator's own cost.
+var compareMetrics = []string{"ns/op", "allocs/op"}
+
+// compare prints per-benchmark deltas of the cost metrics against the
+// baseline file and reports whether everything stayed within the
+// regression threshold. Benchmarks present on only one side are listed
+// but never counted as regressions — a renamed or new benchmark should
+// not fail the gate.
+func compare(path string, cur map[string]map[string]float64, thresholdPct float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return false
 	}
+	var base map[string]map[string]float64
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+		return false
+	}
+
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		if n != "_env" {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	ok := true
+	fmt.Printf("\ncomparison vs %s (threshold %+.1f%%):\n", path, thresholdPct)
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tmetric\told\tnew\tdelta")
+	for _, n := range names {
+		old, inBase := base[n]
+		if !inBase {
+			fmt.Fprintf(w, "%s\t-\t-\t-\tnew benchmark\n", n)
+			continue
+		}
+		for _, metric := range compareMetrics {
+			ov, haveOld := old[metric]
+			nv, haveNew := cur[n][metric]
+			if !haveOld || !haveNew {
+				continue
+			}
+			delta := "n/a"
+			verdict := ""
+			if ov != 0 {
+				pct := (nv - ov) / ov * 100
+				delta = fmt.Sprintf("%+.1f%%", pct)
+				if pct > thresholdPct {
+					verdict = "  REGRESSION"
+					ok = false
+				}
+			} else if nv > ov {
+				verdict = "  REGRESSION"
+				ok = false
+			}
+			fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%s%s\n", n, metric, ov, nv, delta, verdict)
+		}
+	}
+	var missing []string
+	for n := range base {
+		if _, here := cur[n]; n != "_env" && !here {
+			missing = append(missing, n)
+		}
+	}
+	sort.Strings(missing)
+	for _, n := range missing {
+		fmt.Fprintf(w, "%s\t-\t-\t-\tmissing from this run\n", n)
+	}
+	w.Flush()
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: regression beyond %.1f%% threshold\n", thresholdPct)
+	}
+	return ok
 }

@@ -14,6 +14,11 @@
 //
 //	diskthru -experiment fig3 -quick -trace t.jsonl -metrics m.csv
 //	diskthru -experiment fig4 -metrics m.csv -sample-interval 0.5
+//
+// Profiling (see the Performance section of DESIGN.md; `make profile`
+// wraps the Table 2 pipeline):
+//
+//	diskthru -experiment table2 -quick -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
@@ -24,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"diskthru"
@@ -31,7 +38,11 @@ import (
 	"diskthru/internal/probe"
 )
 
-func main() {
+// main delegates to run so deferred cleanups — CPU-profile stop,
+// heap-profile write, telemetry flush — execute on every exit path.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		name      = flag.String("experiment", "", "experiment to run (see -list)")
 		all       = flag.Bool("all", false, "run every experiment in paper order")
@@ -50,14 +61,35 @@ func main() {
 		metrPath  = flag.String("metrics", "", "write per-interval time-series metrics (CSV) to this file")
 		sampleInt = flag.Float64("sample-interval", probe.DefaultSampleInterval,
 			"metrics sampling period in virtual seconds")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile, taken after the last experiment, to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "diskthru: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "diskthru: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer writeHeapProfile(*memProf)
+	}
 
 	if *tracePath != "" || *metrPath != "" {
 		closeTelemetry, err := installTelemetry(*tracePath, *metrPath, *sampleInt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "diskthru: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer closeTelemetry()
 	}
@@ -66,7 +98,7 @@ func main() {
 		for _, n := range experiments.Names() {
 			fmt.Println(n)
 		}
-		return
+		return 0
 	}
 
 	opts := experiments.Defaults()
@@ -105,7 +137,7 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "diskthru: pass -experiment <name>, -all, or -list")
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	for _, n := range names {
@@ -117,13 +149,13 @@ func main() {
 			} else {
 				fmt.Fprintf(os.Stderr, "diskthru: %s: %v\n", n, err)
 			}
-			os.Exit(1)
+			return 1
 		}
 		switch *format {
 		case "csv":
 			if err := table.CSV(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "diskthru: %s: %v\n", n, err)
-				os.Exit(1)
+				return 1
 			}
 		default:
 			table.Format(os.Stdout)
@@ -132,6 +164,22 @@ func main() {
 			fmt.Printf("(%s took %v)\n", n, time.Since(start).Round(time.Millisecond))
 		}
 		fmt.Println()
+	}
+	return 0
+}
+
+// writeHeapProfile snapshots the heap after a GC, so the profile shows
+// live working-set allocation sites rather than collected garbage.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diskthru: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "diskthru: %v\n", err)
 	}
 }
 

@@ -173,6 +173,16 @@ type rig struct {
 	logical  int
 }
 
+// recycle hands the rig's pooled storage — the simulator's event queue
+// and every drive's cache-index tables — to the next replay cell. Legal
+// only after the replay has drained; the rig must not be used after.
+func (r *rig) recycle() {
+	r.sim.Recycle()
+	for _, d := range r.disks {
+		d.Release()
+	}
+}
+
 // diskProbes adapts the drives to the sampler's interface.
 func (r *rig) diskProbes() []probe.DiskProbe {
 	out := make([]probe.DiskProbe, len(r.disks))
@@ -339,12 +349,12 @@ func RunContext(ctx context.Context, w *Workload, cfg Config) (Result, error) {
 		issue = host.IssueSequential
 	}
 	h, err := host.New(r.sim, r.disks, r.striper, inner.Layout, host.Config{
-		Streams:       streams,
-		CoalesceProb:  cfg.CoalesceProb,
-		Seed:          cfg.Seed,
-		Issue:         issue,
-		FlushHDCAtEnd: cfg.FlushHDCAtEnd && cfg.HDCKB > 0,
-		SyncHDCEvery:  cfg.SyncHDCSeconds,
+		Streams:        streams,
+		CoalesceProb:   cfg.CoalesceProb,
+		Seed:           cfg.Seed,
+		Issue:          issue,
+		FlushHDCAtEnd:  cfg.FlushHDCAtEnd && cfg.HDCKB > 0,
+		SyncHDCEvery:   cfg.SyncHDCSeconds,
 		Replicas:       r.replicas,
 		FailDisk:       cfg.FailedDisk,
 		ArrivalRate:    cfg.ArrivalRate,
@@ -380,7 +390,7 @@ func RunContext(ctx context.Context, w *Workload, cfg Config) (Result, error) {
 	if err := scope.Finish(); err != nil {
 		return res, fmt.Errorf("diskthru: telemetry: %w", err)
 	}
-	r.sim.Recycle() // hand the drained event queue to the next replay
+	r.recycle() // hand the drained queue and index storage to the next replay
 	return res, nil
 }
 

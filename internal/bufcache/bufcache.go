@@ -3,27 +3,53 @@
 // reproduce that filtering stage when synthesizing the server workloads:
 // server-level file accesses stream through this LRU cache and only the
 // misses (and merged writes) become disk-level trace records.
+//
+// The residency index is an open-addressed int64 table (internal/intmap)
+// and the LRU nodes live in a flat index-linked slab, so the filtering
+// stage — one probe per server-level block — does no map hashing and no
+// per-node allocation. Storage is pooled across runs via Release.
 package bufcache
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+
+	"diskthru/internal/intmap"
+)
+
+// nilNode terminates the recency and free lists.
+const nilNode = int32(-1)
+
+type node struct {
+	block      int64
+	dirty      bool
+	prev, next int32
+}
+
+// indexPool and slabPool recycle cache storage across runs.
+var indexPool intmap.Pool[int32]
+
+var slabPool = sync.Pool{
+	New: func() any {
+		s := make([]node, 0, 1024)
+		return &s
+	},
+}
 
 // Cache is a block-granularity LRU buffer cache with write-back
 // semantics: write hits are absorbed (merged), write misses allocate the
 // block dirty, and evictions of dirty blocks surface as disk writes.
 type Cache struct {
 	capacity int
-	index    map[int64]*node
+	index    *intmap.Map[int32]
+	nodes    []node
+	slab     *[]node // pooled backing-array handle
+	free     int32   // free-list head
 	// head = most recently used.
-	head, tail *node
+	head, tail int32
 
 	hits, misses   uint64
 	absorbedWrites uint64
-}
-
-type node struct {
-	block      int64
-	dirty      bool
-	prev, next *node
 }
 
 // New returns an empty cache holding capacity blocks.
@@ -31,14 +57,34 @@ func New(capacity int) *Cache {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("bufcache: capacity %d", capacity))
 	}
-	return &Cache{capacity: capacity, index: make(map[int64]*node, capacity)}
+	slab := slabPool.Get().(*[]node)
+	return &Cache{
+		capacity: capacity,
+		index:    indexPool.Get(capacity),
+		nodes:    (*slab)[:0],
+		slab:     slab,
+		free:     nilNode,
+		head:     nilNode,
+		tail:     nilNode,
+	}
+}
+
+// Release returns the cache's index table and node slab to their pools
+// for the next run. The cache must not be used afterwards.
+func (c *Cache) Release() {
+	indexPool.Put(c.index)
+	c.index = nil
+	*c.slab = c.nodes[:0]
+	slabPool.Put(c.slab)
+	c.slab = nil
+	c.nodes = nil
 }
 
 // Capacity reports the block capacity.
 func (c *Cache) Capacity() int { return c.capacity }
 
 // Len reports resident blocks.
-func (c *Cache) Len() int { return len(c.index) }
+func (c *Cache) Len() int { return c.index.Len() }
 
 // Hits and Misses report the access counters.
 func (c *Cache) Hits() uint64   { return c.hits }
@@ -60,7 +106,7 @@ type Counters struct {
 func (c *Cache) Counters() Counters {
 	return Counters{
 		Hits: c.hits, Misses: c.misses, AbsorbedWrites: c.absorbedWrites,
-		Len: len(c.index), Capacity: c.capacity,
+		Len: c.index.Len(), Capacity: c.capacity,
 	}
 }
 
@@ -78,24 +124,26 @@ type Eviction struct {
 // block missed (a read miss implies a disk read; a write miss dirties a
 // freshly allocated block) and any eviction the insertion caused.
 func (c *Cache) Access(block int64, write bool) (miss bool, ev Eviction) {
-	if n, ok := c.index[block]; ok {
+	if n, ok := c.index.Get(block); ok {
 		c.hits++
 		if write {
 			c.absorbedWrites++
-			n.dirty = true
+			c.nodes[n].dirty = true
 		}
 		c.moveToFront(n)
 		return false, Eviction{}
 	}
 	c.misses++
-	n := &node{block: block, dirty: write}
-	if len(c.index) >= c.capacity {
+	if c.index.Len() >= c.capacity {
 		v := c.tail
 		c.unlink(v)
-		delete(c.index, v.block)
-		ev = Eviction{Block: v.block, Dirty: v.dirty, Happened: true}
+		c.index.Delete(c.nodes[v].block)
+		ev = Eviction{Block: c.nodes[v].block, Dirty: c.nodes[v].dirty, Happened: true}
+		c.nodes[v].next = c.free
+		c.free = v
 	}
-	c.index[block] = n
+	n := c.alloc(block, write)
+	c.index.Put(block, n)
 	c.pushFront(n)
 	return true, ev
 }
@@ -104,8 +152,10 @@ func (c *Cache) Access(block int64, write bool) (miss bool, ev Eviction) {
 // turnover. It returns the dirty blocks that must be written back.
 func (c *Cache) Clear() []int64 {
 	dirty := c.FlushDirty()
-	c.index = make(map[int64]*node, c.capacity)
-	c.head, c.tail = nil, nil
+	c.index.Clear()
+	c.nodes = c.nodes[:0]
+	c.free = nilNode
+	c.head, c.tail = nilNode, nilNode
 	return dirty
 }
 
@@ -113,16 +163,27 @@ func (c *Cache) Clear() []int64 {
 // marks them clean — the periodic sync.
 func (c *Cache) FlushDirty() []int64 {
 	var out []int64
-	for n := c.tail; n != nil; n = n.prev {
-		if n.dirty {
-			n.dirty = false
-			out = append(out, n.block)
+	for n := c.tail; n != nilNode; n = c.nodes[n].prev {
+		if c.nodes[n].dirty {
+			c.nodes[n].dirty = false
+			out = append(out, c.nodes[n].block)
 		}
 	}
 	return out
 }
 
-func (c *Cache) moveToFront(n *node) {
+// alloc takes a node from the free list, or extends the slab.
+func (c *Cache) alloc(block int64, dirty bool) int32 {
+	if n := c.free; n != nilNode {
+		c.free = c.nodes[n].next
+		c.nodes[n] = node{block: block, dirty: dirty, prev: nilNode, next: nilNode}
+		return n
+	}
+	c.nodes = append(c.nodes, node{block: block, dirty: dirty, prev: nilNode, next: nilNode})
+	return int32(len(c.nodes) - 1)
+}
+
+func (c *Cache) moveToFront(n int32) {
 	if c.head == n {
 		return
 	}
@@ -130,27 +191,28 @@ func (c *Cache) moveToFront(n *node) {
 	c.pushFront(n)
 }
 
-func (c *Cache) unlink(n *node) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (c *Cache) unlink(n int32) {
+	nd := &c.nodes[n]
+	if nd.prev != nilNode {
+		c.nodes[nd.prev].next = nd.next
 	} else {
-		c.head = n.next
+		c.head = nd.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if nd.next != nilNode {
+		c.nodes[nd.next].prev = nd.prev
 	} else {
-		c.tail = n.prev
+		c.tail = nd.prev
 	}
-	n.prev, n.next = nil, nil
+	nd.prev, nd.next = nilNode, nilNode
 }
 
-func (c *Cache) pushFront(n *node) {
-	n.next = c.head
-	if c.head != nil {
-		c.head.prev = n
+func (c *Cache) pushFront(n int32) {
+	c.nodes[n].next = c.head
+	if c.head != nilNode {
+		c.nodes[c.head].prev = n
 	}
 	c.head = n
-	if c.tail == nil {
+	if c.tail == nilNode {
 		c.tail = n
 	}
 }

@@ -12,7 +12,18 @@
 //
 // All addresses are per-disk physical block numbers. None of these types
 // hold data; the simulator only tracks residency.
+//
+// Residency indices are open-addressed int64 tables (internal/intmap)
+// rather than Go maps: every request probes the index once per block,
+// which made map hashing the single hottest path in replay profiles.
+// The index storage is pooled across replay cells via Release.
 package cache
+
+import (
+	"sync"
+
+	"diskthru/internal/intmap"
+)
 
 // Store is the read-ahead (replaceable) portion of a controller cache.
 type Store interface {
@@ -30,6 +41,9 @@ type Store interface {
 	Evictions() uint64
 	// Name identifies the organization for reports.
 	Name() string
+	// Release returns pooled index storage for reuse by the next replay
+	// cell. The store must not be used afterwards.
+	Release()
 }
 
 // Snapshot is a point-in-time occupancy reading of a Store, taken by the
@@ -44,6 +58,9 @@ func Snap(s Store) Snapshot {
 	return Snapshot{Len: s.Len(), Capacity: s.Capacity(), Evictions: s.Evictions()}
 }
 
+// slotPool recycles block -> slot index tables across replay cells.
+var slotPool intmap.Pool[int32]
+
 // ---- Segment store ---------------------------------------------------------
 
 type segment struct {
@@ -57,7 +74,7 @@ type segment struct {
 type SegmentStore struct {
 	segBlocks int
 	segs      []segment
-	index     map[int64]int // block -> segment slot
+	index     *intmap.Map[int32] // block -> segment slot
 	clock     uint64
 	evicted   uint64
 }
@@ -71,7 +88,7 @@ func NewSegmentStore(numSegments, segmentBlocks int) *SegmentStore {
 	return &SegmentStore{
 		segBlocks: segmentBlocks,
 		segs:      make([]segment, numSegments),
-		index:     make(map[int64]int),
+		index:     slotPool.Get(numSegments * segmentBlocks),
 	}
 }
 
@@ -82,7 +99,7 @@ func (s *SegmentStore) Name() string { return "segment" }
 func (s *SegmentStore) Capacity() int { return len(s.segs) * s.segBlocks }
 
 // Len implements Store.
-func (s *SegmentStore) Len() int { return len(s.index) }
+func (s *SegmentStore) Len() int { return s.index.Len() }
 
 // Evictions implements Store.
 func (s *SegmentStore) Evictions() uint64 { return s.evicted }
@@ -90,15 +107,20 @@ func (s *SegmentStore) Evictions() uint64 { return s.evicted }
 // NumSegments reports the segment count.
 func (s *SegmentStore) NumSegments() int { return len(s.segs) }
 
+// Release implements Store: the index table goes back to the pool.
+func (s *SegmentStore) Release() {
+	slotPool.Put(s.index)
+	s.index = nil
+}
+
 // Contains implements Store.
 func (s *SegmentStore) Contains(lba int64) bool {
-	_, ok := s.index[lba]
-	return ok
+	return s.index.Contains(lba)
 }
 
 // Touch implements Store.
 func (s *SegmentStore) Touch(lba int64) {
-	if slot, ok := s.index[lba]; ok {
+	if slot, ok := s.index.Get(lba); ok {
 		s.clock++
 		s.segs[slot].lru = s.clock
 	}
@@ -115,18 +137,18 @@ func (s *SegmentStore) Insert(lba int64, count int) {
 	if count > s.segBlocks {
 		count = s.segBlocks
 	}
-	victim := 0
+	victim := int32(0)
 	for i := 1; i < len(s.segs); i++ {
 		if s.segs[i].lru < s.segs[victim].lru {
-			victim = i
+			victim = int32(i)
 		}
 	}
 	seg := &s.segs[victim]
 	for _, b := range seg.blocks {
 		// A block may have been re-indexed into a newer segment; only
 		// drop the mapping if it still points at the victim.
-		if s.index[b] == victim {
-			delete(s.index, b)
+		if slot, _ := s.index.Get(b); slot == victim {
+			s.index.Delete(b)
 			s.evicted++
 		}
 	}
@@ -134,7 +156,7 @@ func (s *SegmentStore) Insert(lba int64, count int) {
 	for i := 0; i < count; i++ {
 		b := lba + int64(i)
 		seg.blocks = append(seg.blocks, b)
-		s.index[b] = victim
+		s.index.Put(b, victim)
 	}
 	s.clock++
 	seg.lru = s.clock
@@ -161,9 +183,23 @@ func (p EvictPolicy) String() string {
 	return "LRU"
 }
 
+// nilNode terminates the recency and free lists.
+const nilNode = int32(-1)
+
+// blockNode is one resident block. Nodes live in a flat slab and link
+// by index, so steady-state churn allocates nothing and the recency
+// list walks stay in cache.
 type blockNode struct {
 	lba        int64
-	prev, next *blockNode
+	prev, next int32
+}
+
+// nodePool recycles node slabs across replay cells.
+var nodePool = sync.Pool{
+	New: func() any {
+		s := make([]blockNode, 0, 1024)
+		return &s
+	},
 }
 
 // BlockStore is the block-based cache organization: a pool of capacity
@@ -171,9 +207,12 @@ type blockNode struct {
 type BlockStore struct {
 	capacity int
 	policy   EvictPolicy
-	index    map[int64]*blockNode
+	index    *intmap.Map[int32] // block -> node slab index
+	nodes    []blockNode
+	slab     *[]blockNode // pooled backing-array handle
+	free     int32        // free-list head
 	// Recency list: head is most recent, tail least recent.
-	head, tail *blockNode
+	head, tail int32
 	evicted    uint64
 }
 
@@ -183,10 +222,16 @@ func NewBlockStore(capacity int, policy EvictPolicy) *BlockStore {
 	if capacity <= 0 {
 		panic("cache: block store needs positive capacity")
 	}
+	slab := nodePool.Get().(*[]blockNode)
 	return &BlockStore{
 		capacity: capacity,
 		policy:   policy,
-		index:    make(map[int64]*blockNode, capacity),
+		index:    slotPool.Get(capacity),
+		nodes:    (*slab)[:0],
+		slab:     slab,
+		free:     nilNode,
+		head:     nilNode,
+		tail:     nilNode,
 	}
 }
 
@@ -197,7 +242,7 @@ func (s *BlockStore) Name() string { return "block-" + s.policy.String() }
 func (s *BlockStore) Capacity() int { return s.capacity }
 
 // Len implements Store.
-func (s *BlockStore) Len() int { return len(s.index) }
+func (s *BlockStore) Len() int { return s.index.Len() }
 
 // Evictions implements Store.
 func (s *BlockStore) Evictions() uint64 { return s.evicted }
@@ -205,33 +250,55 @@ func (s *BlockStore) Evictions() uint64 { return s.evicted }
 // Policy reports the eviction policy.
 func (s *BlockStore) Policy() EvictPolicy { return s.policy }
 
+// Release implements Store: index table and node slab go back to their
+// pools.
+func (s *BlockStore) Release() {
+	slotPool.Put(s.index)
+	s.index = nil
+	*s.slab = s.nodes[:0]
+	nodePool.Put(s.slab)
+	s.slab = nil
+	s.nodes = nil
+}
+
 // Contains implements Store.
 func (s *BlockStore) Contains(lba int64) bool {
-	_, ok := s.index[lba]
-	return ok
+	return s.index.Contains(lba)
 }
 
-func (s *BlockStore) unlink(n *blockNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
-	} else {
-		s.head = n.next
+// alloc takes a node from the free list, or extends the slab.
+func (s *BlockStore) alloc(lba int64) int32 {
+	if n := s.free; n != nilNode {
+		s.free = s.nodes[n].next
+		s.nodes[n] = blockNode{lba: lba, prev: nilNode, next: nilNode}
+		return n
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
-	} else {
-		s.tail = n.prev
-	}
-	n.prev, n.next = nil, nil
+	s.nodes = append(s.nodes, blockNode{lba: lba, prev: nilNode, next: nilNode})
+	return int32(len(s.nodes) - 1)
 }
 
-func (s *BlockStore) pushFront(n *blockNode) {
-	n.next = s.head
-	if s.head != nil {
-		s.head.prev = n
+func (s *BlockStore) unlink(n int32) {
+	nd := &s.nodes[n]
+	if nd.prev != nilNode {
+		s.nodes[nd.prev].next = nd.next
+	} else {
+		s.head = nd.next
+	}
+	if nd.next != nilNode {
+		s.nodes[nd.next].prev = nd.prev
+	} else {
+		s.tail = nd.prev
+	}
+	nd.prev, nd.next = nilNode, nilNode
+}
+
+func (s *BlockStore) pushFront(n int32) {
+	s.nodes[n].next = s.head
+	if s.head != nilNode {
+		s.nodes[s.head].prev = n
 	}
 	s.head = n
-	if s.tail == nil {
+	if s.tail == nilNode {
 		s.tail = n
 	}
 }
@@ -246,7 +313,7 @@ func (s *BlockStore) Touch(lba int64) {
 	if s.policy == EvictMRU {
 		return
 	}
-	if n, ok := s.index[lba]; ok {
+	if n, ok := s.index.Get(lba); ok {
 		s.unlink(n)
 		s.pushFront(n)
 	}
@@ -260,16 +327,16 @@ func (s *BlockStore) Touch(lba int64) {
 func (s *BlockStore) Insert(lba int64, count int) {
 	for i := 0; i < count; i++ {
 		b := lba + int64(i)
-		if n, ok := s.index[b]; ok {
+		if n, ok := s.index.Get(b); ok {
 			s.unlink(n)
 			s.pushFront(n)
 			continue
 		}
-		if len(s.index) >= s.capacity {
+		if s.index.Len() >= s.capacity {
 			s.evictOne(lba, i)
 		}
-		n := &blockNode{lba: b}
-		s.index[b] = n
+		n := s.alloc(b)
+		s.index.Put(b, n)
 		s.pushFront(n)
 	}
 }
@@ -277,35 +344,40 @@ func (s *BlockStore) Insert(lba int64, count int) {
 // evictOne removes one block. runStart/len identify the in-flight run so
 // MRU can skip blocks it just inserted.
 func (s *BlockStore) evictOne(runStart int64, runLen int) {
-	var victim *blockNode
+	victim := nilNode
 	switch s.policy {
 	case EvictMRU:
-		for n := s.head; n != nil; n = n.next {
-			if n.lba >= runStart && n.lba < runStart+int64(runLen) {
+		for n := s.head; n != nilNode; n = s.nodes[n].next {
+			if lba := s.nodes[n].lba; lba >= runStart && lba < runStart+int64(runLen) {
 				continue
 			}
 			victim = n
 			break
 		}
-		if victim == nil {
+		if victim == nilNode {
 			victim = s.tail
 		}
 	default: // EvictLRU
 		victim = s.tail
 	}
 	s.unlink(victim)
-	delete(s.index, victim.lba)
+	s.index.Delete(s.nodes[victim].lba)
+	s.nodes[victim].next = s.free
+	s.free = victim
 	s.evicted++
 }
 
 // ---- HDC region -------------------------------------------------------------
+
+// dirtyPool recycles pinned-set tables across replay cells.
+var dirtyPool intmap.Pool[bool]
 
 // HDCRegion is the host-managed, pinned portion of a controller cache.
 // Pinned blocks are never replaced; dirty pinned blocks accumulate until
 // the host issues flush_hdc.
 type HDCRegion struct {
 	capacity int
-	pinned   map[int64]bool // block -> dirty
+	pinned   *intmap.Map[bool] // block -> dirty
 }
 
 // NewHDCRegion returns a region able to pin capacity blocks. A zero
@@ -314,52 +386,58 @@ func NewHDCRegion(capacity int) *HDCRegion {
 	if capacity < 0 {
 		panic("cache: negative HDC capacity")
 	}
-	return &HDCRegion{capacity: capacity, pinned: make(map[int64]bool)}
+	return &HDCRegion{capacity: capacity, pinned: dirtyPool.Get(capacity)}
 }
 
 // Capacity reports the maximum number of pinned blocks.
 func (h *HDCRegion) Capacity() int { return h.capacity }
 
 // Len reports currently pinned blocks.
-func (h *HDCRegion) Len() int { return len(h.pinned) }
+func (h *HDCRegion) Len() int { return h.pinned.Len() }
+
+// Release returns the pinned-set table to the pool. The region must not
+// be used afterwards.
+func (h *HDCRegion) Release() {
+	dirtyPool.Put(h.pinned)
+	h.pinned = nil
+}
 
 // Contains reports whether the block is pinned.
 func (h *HDCRegion) Contains(lba int64) bool {
-	_, ok := h.pinned[lba]
-	return ok
+	return h.pinned.Contains(lba)
 }
 
 // Pin implements pin_blk: it marks the block non-replaceable. It reports
 // false when the region is full or the block is already pinned.
 func (h *HDCRegion) Pin(lba int64) bool {
-	if _, ok := h.pinned[lba]; ok {
+	if h.pinned.Contains(lba) {
 		return false
 	}
-	if len(h.pinned) >= h.capacity {
+	if h.pinned.Len() >= h.capacity {
 		return false
 	}
-	h.pinned[lba] = false
+	h.pinned.Put(lba, false)
 	return true
 }
 
 // Unpin implements unpin_blk. It reports whether the block was pinned,
 // and whether it was dirty (the caller must then write it back).
 func (h *HDCRegion) Unpin(lba int64) (was, dirty bool) {
-	d, ok := h.pinned[lba]
+	d, ok := h.pinned.Get(lba)
 	if !ok {
 		return false, false
 	}
-	delete(h.pinned, lba)
+	h.pinned.Delete(lba)
 	return true, d
 }
 
 // MarkDirty records a write absorbed by a pinned block. It reports false
 // if the block is not pinned.
 func (h *HDCRegion) MarkDirty(lba int64) bool {
-	if _, ok := h.pinned[lba]; !ok {
+	if !h.pinned.Contains(lba) {
 		return false
 	}
-	h.pinned[lba] = true
+	h.pinned.Put(lba, true)
 	return true
 }
 
@@ -368,11 +446,14 @@ func (h *HDCRegion) MarkDirty(lba int64) bool {
 // schedules the actual media writes.
 func (h *HDCRegion) Flush() []int64 {
 	var dirty []int64
-	for b, d := range h.pinned {
+	h.pinned.Range(func(b int64, d bool) bool {
 		if d {
 			dirty = append(dirty, b)
-			h.pinned[b] = false
 		}
+		return true
+	})
+	for _, b := range dirty {
+		h.pinned.Put(b, false)
 	}
 	return dirty
 }
@@ -380,10 +461,11 @@ func (h *HDCRegion) Flush() []int64 {
 // DirtyCount reports how many pinned blocks are currently dirty.
 func (h *HDCRegion) DirtyCount() int {
 	n := 0
-	for _, d := range h.pinned {
+	h.pinned.Range(func(_ int64, d bool) bool {
 		if d {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }

@@ -264,12 +264,13 @@ func TestPropertyBlockStoreListMapAgree(t *testing.T) {
 		// Walk the list and compare with the index.
 		n := 0
 		seen := map[int64]bool{}
-		for node := s.head; node != nil; node = node.next {
-			if seen[node.lba] {
+		for node := s.head; node != nilNode; node = s.nodes[node].next {
+			lba := s.nodes[node].lba
+			if seen[lba] {
 				return false // duplicate node
 			}
-			seen[node.lba] = true
-			if !s.Contains(node.lba) {
+			seen[lba] = true
+			if !s.Contains(lba) {
 				return false
 			}
 			n++

@@ -208,6 +208,12 @@ type Disk struct {
 	sim *sim.Simulator
 	bus *bus.Bus
 
+	// mech is the compiled mechanical model (seek/angle lookup tables,
+	// precomputed zone spans) for cfg.Geom; maxBlocks caches its
+	// capacity so the read-ahead clamp does no per-op recomputation.
+	mech      *geom.Mech
+	maxBlocks int64
+
 	queue   sched.Queue[Request]
 	headCyl int
 	busy    bool
@@ -257,7 +263,12 @@ func New(s *sim.Simulator, b *bus.Bus, id int, cfg Config) (*Disk, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Disk{ID: id, cfg: cfg, sim: s, bus: b, queue: sched.New[Request](cfg.Sched)}
+	d := &Disk{
+		ID: id, cfg: cfg, sim: s, bus: b,
+		mech:      cfg.Geom.Compile(),
+		maxBlocks: cfg.Geom.Blocks(),
+		queue:     sched.New[Request](cfg.Sched),
+	}
 	segBlocks := cfg.SegmentBytes / cfg.Geom.BlockSize
 	switch cfg.Org {
 	case OrgSegment:
@@ -289,6 +300,16 @@ func New(s *sim.Simulator, b *bus.Bus, id int, cfg Config) (*Disk, error) {
 
 // Stats returns a copy of the drive's counters.
 func (d *Disk) Stats() Stats { return d.stats }
+
+// Release returns the drive's pooled cache-index storage (store and
+// HDC region tables) for reuse by the next replay cell. Call once the
+// replay has drained; the drive must not be used afterwards.
+func (d *Disk) Release() {
+	d.store.Release()
+	d.store = nil
+	d.hdc.Release()
+	d.hdc = nil
+}
 
 // Store exposes the replaceable store for inspection in tests.
 func (d *Disk) Store() cache.Store { return d.store }
@@ -486,7 +507,7 @@ func (d *Disk) enqueue(r Request) {
 	if d.tr != nil && r.trace != 0 {
 		d.tr.Queued(r.trace, d.sim.Now())
 	}
-	cyl := d.cfg.Geom.BlockPos(r.PBA).Cylinder
+	cyl := d.mech.Cylinder(r.PBA)
 	d.queue.Push(sched.Request[Request]{Cyl: cyl, Payload: r})
 	if !d.busy {
 		d.busy = true
@@ -548,7 +569,7 @@ func (d *Disk) startAttempt() {
 	if !r.Write {
 		count = d.readAheadCount(r)
 	}
-	acc := d.cfg.Geom.MediaOp(d.headCyl, r.PBA, count, d.sim.Now()+d.cfg.CommandOverhead)
+	acc := d.mech.MediaOp(d.headCyl, r.PBA, count, d.sim.Now()+d.cfg.CommandOverhead)
 	d.headCyl = acc.EndCylinder
 	if d.inj != nil {
 		fail, remapped := d.inj.Attempt(r.PBA, count, d.attempt)
@@ -626,8 +647,8 @@ func (d *Disk) readAheadCount(r Request) int {
 		}
 	}
 	// Never read past the end of the bitmap's disk / the platter.
-	if maxBlocks := d.cfg.Geom.Blocks(); r.PBA+int64(count) > maxBlocks {
-		count = int(maxBlocks - r.PBA)
+	if r.PBA+int64(count) > d.maxBlocks {
+		count = int(d.maxBlocks - r.PBA)
 	}
 	return count
 }

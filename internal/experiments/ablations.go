@@ -20,8 +20,8 @@ func AblationFOREviction(o Options) (*Table, error) {
 	}
 	r := newRunner(o)
 	type evictRow struct {
-		label           string
-		segm, mru, lru  *diskthru.Result
+		label          string
+		segm, mru, lru *diskthru.Result
 	}
 	var rows []evictRow
 	addRow := func(label string, wr *workloadRef, cfg diskthru.Config) {

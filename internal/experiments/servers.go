@@ -276,7 +276,7 @@ func Table2(o Options) (*Table, error) {
 	kinds := []serverKind{webServer, proxyServer, fileServer}
 	r := newRunner(o)
 	type t2Row struct {
-		stripeKB                  int
+		stripeKB                    int
 		segm, forr, segmHDC, forHDC *diskthru.Result
 	}
 	rows := make([]t2Row, len(kinds))

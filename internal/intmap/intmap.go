@@ -1,0 +1,231 @@
+// Package intmap provides an open-addressed hash table keyed by
+// non-negative int64 block addresses, specialized for the simulator's
+// cache indices. It replaces Go's map[int64]V on the replay hot path:
+// no per-key hashing interface, no bucket indirection, linear probing
+// over two flat arrays that stay cache-resident, and backward-shift
+// deletion so the table never accumulates tombstones.
+//
+// The value domain is generic; the key domain is not: keys must be
+// >= 0 (block and slot addresses always are), which frees -1 to mark
+// empty slots without a separate control array.
+//
+// Tables are single-goroutine, like everything else inside one replay
+// cell. Pool recycles backing arrays across cells so a sweep of
+// thousands of replays allocates its index storage once per worker
+// instead of once per run.
+package intmap
+
+import "sync"
+
+// minSize is the smallest table allocated; small enough that tiny
+// indices stay tiny, large enough that the first inserts never grow.
+const minSize = 16
+
+// empty marks an unoccupied slot. Keys are block addresses, always
+// non-negative.
+const empty = -1
+
+// Map is an open-addressed int64 -> V hash table. The zero value is
+// not ready to use; call New (or Pool.Get).
+type Map[V any] struct {
+	keys []int64
+	vals []V
+	mask uint64
+	n    int
+	grow int // occupancy that triggers a resize
+}
+
+// New returns a table pre-sized to hold capHint entries without
+// growing. capHint <= 0 yields the minimum table.
+func New[V any](capHint int) *Map[V] {
+	m := &Map[V]{}
+	m.init(capHint)
+	return m
+}
+
+// init (re)allocates the table arrays for capHint entries.
+func (m *Map[V]) init(capHint int) {
+	size := minSize
+	for size*3/4 < capHint {
+		size <<= 1
+	}
+	m.keys = make([]int64, size)
+	m.vals = make([]V, size)
+	for i := range m.keys {
+		m.keys[i] = empty
+	}
+	m.mask = uint64(size - 1)
+	m.n = 0
+	m.grow = size * 3 / 4
+}
+
+// slot maps a key to its home slot. Fibonacci hashing on the high bits
+// spreads the near-sequential block addresses these tables hold.
+func (m *Map[V]) slot(k int64) uint64 {
+	return (uint64(k) * 0x9E3779B97F4A7C15) >> 32 & m.mask
+}
+
+// Len reports the number of entries.
+func (m *Map[V]) Len() int { return m.n }
+
+// Get returns the value stored for k. ok is false (and the value the
+// zero V) when k is absent.
+func (m *Map[V]) Get(k int64) (v V, ok bool) {
+	for i := m.slot(k); ; i = (i + 1) & m.mask {
+		kk := m.keys[i]
+		if kk == k {
+			return m.vals[i], true
+		}
+		if kk == empty {
+			return v, false
+		}
+	}
+}
+
+// Contains reports whether k is present.
+func (m *Map[V]) Contains(k int64) bool {
+	for i := m.slot(k); ; i = (i + 1) & m.mask {
+		kk := m.keys[i]
+		if kk == k {
+			return true
+		}
+		if kk == empty {
+			return false
+		}
+	}
+}
+
+// Put stores v under k, replacing any previous value.
+func (m *Map[V]) Put(k int64, v V) {
+	if m.n >= m.grow {
+		m.rehash(len(m.keys) << 1)
+	}
+	for i := m.slot(k); ; i = (i + 1) & m.mask {
+		kk := m.keys[i]
+		if kk == k {
+			m.vals[i] = v
+			return
+		}
+		if kk == empty {
+			m.keys[i] = k
+			m.vals[i] = v
+			m.n++
+			return
+		}
+	}
+}
+
+// Delete removes k and reports whether it was present. Removal
+// backward-shifts the probe chain, so lookups never pay for past
+// deletions.
+func (m *Map[V]) Delete(k int64) bool {
+	i := m.slot(k)
+	for {
+		kk := m.keys[i]
+		if kk == empty {
+			return false
+		}
+		if kk == k {
+			break
+		}
+		i = (i + 1) & m.mask
+	}
+	m.n--
+	var zero V
+	// Backward-shift: pull each displaced follower into the hole unless
+	// its home slot lies cyclically after the hole (moving it would put
+	// it before its probe start).
+	for {
+		j := i
+		for {
+			j = (j + 1) & m.mask
+			kj := m.keys[j]
+			if kj == empty {
+				m.keys[i] = empty
+				m.vals[i] = zero
+				return true
+			}
+			home := m.slot(kj)
+			if (j-home)&m.mask >= (j-i)&m.mask {
+				break
+			}
+		}
+		m.keys[i] = m.keys[j]
+		m.vals[i] = m.vals[j]
+		i = j
+	}
+}
+
+// Range calls fn for every entry, in table order (deterministic for a
+// given insertion/deletion history — unlike Go's randomized map walk).
+// fn must not mutate the table.
+func (m *Map[V]) Range(fn func(k int64, v V) bool) {
+	for i, k := range m.keys {
+		if k == empty {
+			continue
+		}
+		if !fn(k, m.vals[i]) {
+			return
+		}
+	}
+}
+
+// Clear removes every entry, keeping the backing arrays.
+func (m *Map[V]) Clear() {
+	if m.n == 0 {
+		return
+	}
+	var zero V
+	for i := range m.keys {
+		m.keys[i] = empty
+		m.vals[i] = zero
+	}
+	m.n = 0
+}
+
+// rehash moves the table into fresh arrays of the given size.
+func (m *Map[V]) rehash(size int) {
+	oldK, oldV := m.keys, m.vals
+	m.keys = make([]int64, size)
+	m.vals = make([]V, size)
+	for i := range m.keys {
+		m.keys[i] = empty
+	}
+	m.mask = uint64(size - 1)
+	m.n = 0
+	m.grow = size * 3 / 4
+	for i, k := range oldK {
+		if k != empty {
+			m.Put(k, oldV[i])
+		}
+	}
+}
+
+// Pool recycles Maps across replay cells. Each instantiated value type
+// declares one package-level Pool; Get returns a cleared table and Put
+// gives it back. Safe for concurrent cells.
+type Pool[V any] struct {
+	p sync.Pool
+}
+
+// Get returns a table ready for capHint entries: a recycled one when
+// available (grown if undersized), otherwise a fresh one.
+func (p *Pool[V]) Get(capHint int) *Map[V] {
+	if v := p.p.Get(); v != nil {
+		m := v.(*Map[V])
+		if m.grow < capHint {
+			m.init(capHint)
+		}
+		return m
+	}
+	return New[V](capHint)
+}
+
+// Put clears m and returns it to the pool. m must not be used after.
+func (p *Pool[V]) Put(m *Map[V]) {
+	if m == nil {
+		return
+	}
+	m.Clear()
+	p.p.Put(m)
+}

@@ -1,0 +1,185 @@
+package intmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	m := New[int](0)
+	if m.Len() != 0 {
+		t.Fatalf("fresh Len = %d", m.Len())
+	}
+	if _, ok := m.Get(7); ok {
+		t.Fatal("Get on empty table found a key")
+	}
+	m.Put(7, 70)
+	m.Put(8, 80)
+	m.Put(7, 71) // overwrite
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if v, ok := m.Get(7); !ok || v != 71 {
+		t.Fatalf("Get(7) = %v,%v", v, ok)
+	}
+	if !m.Contains(8) || m.Contains(9) {
+		t.Fatal("Contains wrong")
+	}
+	if !m.Delete(7) || m.Delete(7) {
+		t.Fatal("Delete wrong")
+	}
+	if m.Len() != 1 || m.Contains(7) {
+		t.Fatal("Delete left state wrong")
+	}
+	m.Clear()
+	if m.Len() != 0 || m.Contains(8) {
+		t.Fatal("Clear left state wrong")
+	}
+}
+
+func TestGrowthKeepsEntries(t *testing.T) {
+	m := New[int64](0)
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		m.Put(i*3, i)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := int64(0); i < n; i++ {
+		if v, ok := m.Get(i * 3); !ok || v != i {
+			t.Fatalf("Get(%d) = %v,%v after growth", i*3, v, ok)
+		}
+	}
+}
+
+// The load-bearing test: a long random op stream must leave the table
+// indistinguishable from a builtin map. This exercises backward-shift
+// deletion across wrapped probe chains, overwrites, and growth.
+func TestMatchesBuiltinMap(t *testing.T) {
+	for _, keyRange := range []int64{50, 1000, 1 << 40} {
+		rng := rand.New(rand.NewSource(keyRange))
+		m := New[int](0)
+		ref := make(map[int64]int)
+		for op := 0; op < 200000; op++ {
+			k := rng.Int63n(keyRange)
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // put
+				v := rng.Int()
+				m.Put(k, v)
+				ref[k] = v
+			case 4, 5, 6: // delete
+				got := m.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					t.Fatalf("range %d op %d: Delete(%d) = %v, want %v", keyRange, op, k, got, want)
+				}
+				delete(ref, k)
+			default: // get
+				gv, gok := m.Get(k)
+				wv, wok := ref[k]
+				if gok != wok || (gok && gv != wv) {
+					t.Fatalf("range %d op %d: Get(%d) = %v,%v want %v,%v", keyRange, op, k, gv, gok, wv, wok)
+				}
+			}
+			if m.Len() != len(ref) {
+				t.Fatalf("range %d op %d: Len = %d, want %d", keyRange, op, m.Len(), len(ref))
+			}
+		}
+		// Full sweep at the end.
+		seen := 0
+		m.Range(func(k int64, v int) bool {
+			seen++
+			if wv, ok := ref[k]; !ok || wv != v {
+				t.Fatalf("range %d: Range yielded %d=%d, ref has %d,%v", keyRange, k, v, wv, ok)
+			}
+			return true
+		})
+		if seen != len(ref) {
+			t.Fatalf("range %d: Range yielded %d entries, want %d", keyRange, seen, len(ref))
+		}
+	}
+}
+
+func TestRangeDeterministicOrder(t *testing.T) {
+	build := func() []int64 {
+		m := New[int](0)
+		for i := int64(0); i < 500; i++ {
+			m.Put(i*7%501, int(i))
+		}
+		for i := int64(0); i < 500; i += 3 {
+			m.Delete(i * 7 % 501)
+		}
+		var order []int64
+		m.Range(func(k int64, _ int) bool { order = append(order, k); return true })
+		return order
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("orders differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("iteration order not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPoolRecycles(t *testing.T) {
+	var p Pool[int]
+	m := p.Get(100)
+	for i := int64(0); i < 100; i++ {
+		m.Put(i, int(i))
+	}
+	p.Put(m)
+	m2 := p.Get(50)
+	if m2.Len() != 0 {
+		t.Fatalf("recycled table not cleared: Len = %d", m2.Len())
+	}
+	for i := int64(0); i < 50; i++ {
+		if m2.Contains(i) {
+			t.Fatalf("recycled table still contains %d", i)
+		}
+	}
+	// Undersized hint after recycling must still be able to grow.
+	for i := int64(0); i < 500; i++ {
+		m2.Put(i, int(i))
+	}
+	if m2.Len() != 500 {
+		t.Fatalf("Len = %d after regrow", m2.Len())
+	}
+}
+
+// Steady-state churn on a warmed table must not allocate: the replay
+// hot path probes and updates these indices millions of times per cell.
+func TestSteadyStateAllocFree(t *testing.T) {
+	m := New[int32](4096)
+	for i := int64(0); i < 2048; i++ {
+		m.Put(i, int32(i))
+	}
+	k := int64(0)
+	avg := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 1024; i++ {
+			m.Delete(k)
+			m.Put(k+2048, int32(k))
+			m.Get(k + 1)
+			m.Contains(k + 2048)
+			m.Delete(k + 2048)
+			m.Put(k, int32(k))
+			k = (k + 1) % 2048
+		}
+	})
+	if avg > 0 {
+		t.Errorf("steady-state churn allocates %.1f times per run; want 0", avg)
+	}
+}
+
+func BenchmarkPutGetDelete(b *testing.B) {
+	m := New[int32](1024)
+	for i := 0; i < b.N; i++ {
+		k := int64(i & 1023)
+		m.Put(k, int32(i))
+		m.Get(k)
+		m.Delete(k)
+	}
+}

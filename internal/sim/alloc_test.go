@@ -2,10 +2,17 @@ package sim
 
 import "testing"
 
-// The scheduling hot path must not allocate once the heap has grown to
-// its working size: At appends into pooled backing storage and pop zeroes
-// the vacated slot in place. This pins the optimization the replay loops
-// rely on — a regression here multiplies across every simulated request.
+// The scheduling hot path must not allocate once the queue has grown to
+// its working size: At appends into pooled ring buckets (or the far
+// heap) and pop zeroes the vacated slot in place. This pins the
+// optimization the replay loops rely on — a regression here multiplies
+// across every simulated request.
+//
+// A few full drains warm the structure first: the calendar queue
+// retunes its bucket width from observed event gaps during the first
+// drains, and each retune redistributes load across ring slots whose
+// capacities then grow once. After the width settles, drains are
+// allocation-free.
 func TestSchedulingHotPathAllocFree(t *testing.T) {
 	s := New()
 	remaining := 0
@@ -17,7 +24,7 @@ func TestSchedulingHotPathAllocFree(t *testing.T) {
 		}
 	}
 	const events = 512
-	avg := testing.AllocsPerRun(20, func() {
+	burst := func() {
 		remaining = events
 		// A burst of pending events followed by a self-rescheduling
 		// chain, like a disk dispatch loop under load.
@@ -25,8 +32,60 @@ func TestSchedulingHotPathAllocFree(t *testing.T) {
 			s.At(s.Now()+Time(i)*1e-4, tick)
 		}
 		s.Run()
-	})
-	if avg > 0 {
+	}
+	for i := 0; i < 8; i++ {
+		burst() // settle width and slot capacities
+	}
+	if avg := testing.AllocsPerRun(20, burst); avg > 0 {
 		t.Errorf("scheduling hot path allocates %.1f times per drain; want 0", avg)
+	}
+}
+
+// The far rung and its migration path must be allocation-free at
+// working size too: a sparse tail of distant events (idle wakeups,
+// retry backoffs) rides the overflow heap and re-enters the ring as
+// the cursor approaches, all in pooled storage.
+func TestFarRungAllocFree(t *testing.T) {
+	s := New()
+	burst := func() {
+		base := s.Now()
+		// Dense work first (anchoring the window near the clock, as a
+		// replay's request stream does), then the sparse tail far
+		// beyond any plausible ring window at default widths.
+		for i := 0; i < 64; i++ {
+			s.At(base+Time(i)*1e-4, func(Time) {})
+		}
+		for i := 0; i < 64; i++ {
+			s.At(base+1e3+Time(i)*7.3, func(Time) {})
+		}
+		s.Run()
+	}
+	for i := 0; i < 8; i++ {
+		burst()
+	}
+	if avg := testing.AllocsPerRun(20, burst); avg > 0 {
+		t.Errorf("far-rung path allocates %.1f times per drain; want 0", avg)
+	}
+}
+
+// RunUntil's bounded drain peeks at the queue head between steps; the
+// peek (and the cursor advances it may trigger) must not allocate.
+func TestRunUntilAllocFree(t *testing.T) {
+	s := New()
+	slice := func() {
+		base := s.Now()
+		for i := 0; i < 128; i++ {
+			s.At(base+Time(i)*1e-3, func(Time) {})
+		}
+		for i := 0; i < 8; i++ {
+			s.RunUntil(base + Time(i+1)*16e-3)
+		}
+		s.Run() // drain the remainder
+	}
+	for i := 0; i < 8; i++ {
+		slice()
+	}
+	if avg := testing.AllocsPerRun(20, slice); avg > 0 {
+		t.Errorf("RunUntil path allocates %.1f times per slice; want 0", avg)
 	}
 }

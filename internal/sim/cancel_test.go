@@ -73,6 +73,64 @@ func TestCancelDuringSparseBackoffChain(t *testing.T) {
 	}
 }
 
+// A deadline-bounded drain must honor cancellation too: before the fix
+// RunUntil never looked at the channel SetCancel installed, so a
+// cancelled replay in live mode kept grinding to its deadline.
+func TestRunUntilStopsOnClosedCancel(t *testing.T) {
+	s := New()
+	remaining := 50000
+	var tick Event
+	tick = func(Time) {
+		if remaining > 0 {
+			remaining--
+			s.After(1e-6, tick)
+		}
+	}
+	s.After(1e-6, tick)
+	done := make(chan struct{})
+	close(done)
+	s.SetCancel(done)
+	end := s.RunUntil(1.0) // deadline covers the whole chain
+	if !s.Cancelled() {
+		t.Fatal("Cancelled() = false after a cancelled RunUntil")
+	}
+	if s.Processed() > cancelCheckEvery+1 {
+		t.Fatalf("ran %d events past an already-closed cancel channel (check interval %d)",
+			s.Processed(), cancelCheckEvery)
+	}
+	if s.Pending() == 0 {
+		t.Fatal("cancelled chain left no pending events")
+	}
+	if end == 1.0 {
+		t.Fatal("cancelled RunUntil advanced the clock to the deadline")
+	}
+}
+
+// Cancellation arriving mid-drain (from inside the simulation) stops
+// the bounded drain within one poll window, with the clock at the last
+// fired event rather than the deadline.
+func TestRunUntilCancelMidDrain(t *testing.T) {
+	s := New()
+	var tick Event
+	tick = func(Time) { s.After(1e-6, tick) } // perpetual
+	s.After(1e-6, tick)
+	done := make(chan struct{})
+	s.At(0.01, func(Time) { close(done) })
+	s.SetCancel(done)
+	end := s.RunUntil(1.0)
+	if !s.Cancelled() {
+		t.Fatal("RunUntil did not cancel")
+	}
+	// ~10k events fire before the close; at most one poll window after.
+	if s.Processed() > 10001+1+cancelCheckEvery {
+		t.Fatalf("processed %d events, want prompt stop after the close (check interval %d)",
+			s.Processed(), cancelCheckEvery)
+	}
+	if end >= 1.0 {
+		t.Fatalf("end = %v, want the clock left near the cancellation instant", end)
+	}
+}
+
 func TestSetCancelNilRestoresUncancellableRun(t *testing.T) {
 	s := New()
 	perpetual(s)

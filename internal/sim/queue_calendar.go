@@ -1,0 +1,11 @@
+//go:build !sim_refheap
+
+package sim
+
+// queue selects the Simulator's event-queue engine at build time. The
+// default is the calendar queue; `go build -tags sim_refheap` swaps in
+// the original binary heap (refheap.go) so a suspected queue bug can
+// be bisected against the reference with a one-flag rebuild.
+type queue = calQueue
+
+func newQueue() *queue { return newCalQueue() }

@@ -1,0 +1,9 @@
+//go:build sim_refheap
+
+package sim
+
+// Reference engine build: the Simulator runs on the original binary
+// heap. See queue_calendar.go for the default.
+type queue = refHeap
+
+func newQueue() *queue { return new(refHeap) }

@@ -1,11 +1,14 @@
 // Package sim provides the discrete-event simulation engine that every
 // other subsystem runs on.
 //
-// The engine is deliberately small: a monotonic virtual clock measured in
-// seconds (float64) and a binary-heap event queue. Events scheduled for
-// the same instant fire in FIFO order of scheduling, which makes whole
-// simulations deterministic for a fixed input — a property the test suite
-// depends on.
+// The engine is deliberately small: a monotonic virtual clock measured
+// in seconds (float64) and a pending-event queue — by default a
+// two-level calendar queue (calqueue.go), with the original binary
+// heap retained as a build-time reference engine (-tags sim_refheap).
+// Events scheduled for the same instant fire in FIFO order of
+// scheduling, which makes whole simulations deterministic for a fixed
+// input — a property the test suite depends on and that both engines
+// must preserve bit for bit (see the equivalence fuzz test).
 package sim
 
 import (
@@ -27,54 +30,63 @@ type entry struct {
 	fn  Event
 }
 
+func (e entry) less(o entry) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
 // Simulator owns the virtual clock and the pending-event queue.
 // The zero value is ready to use.
 type Simulator struct {
 	now     Time
 	nextID  uint64
-	heap    []entry
+	q       *queue
 	ran     uint64
-	maxHeap int
+	maxPend int
 
-	// cancel, when non-nil, is polled between event batches by Run; a
-	// closed channel stops the run early with events still queued.
+	// cancel, when non-nil, is polled between event batches by Run and
+	// RunUntil; a closed channel stops the drain early with events
+	// still queued.
 	cancel    <-chan struct{}
 	cancelled bool
-
-	// storage is the pooled backing-array handle; nil for zero-value
-	// simulators and after Recycle.
-	storage *[]entry
 }
 
-// heapPool recycles event-queue backing arrays across simulators, so a
-// sweep of thousands of replays grows the heap once instead of once per
-// run. Safe for concurrent replay cells.
-var heapPool = sync.Pool{
-	New: func() any {
-		s := make([]entry, 0, 1024)
-		return &s
-	},
+// queuePool recycles whole event queues — ring buckets, overflow heap
+// and all — across simulators, so a sweep of thousands of replays
+// grows the structure once instead of once per run. Safe for
+// concurrent replay cells.
+var queuePool = sync.Pool{
+	New: func() any { return newQueue() },
 }
 
 // New returns an empty simulator with the clock at zero. Its event
-// storage comes from a process-wide pool; call Recycle after the run
+// queue comes from a process-wide pool; call Recycle after the run
 // drains to give it back.
 func New() *Simulator {
-	st := heapPool.Get().(*[]entry)
-	return &Simulator{heap: (*st)[:0], storage: st}
+	return &Simulator{q: queuePool.Get().(*queue)}
 }
 
-// Recycle returns the simulator's event storage to the process-wide pool
+// queue returns the event queue, attaching a pooled one on first use so
+// the zero-value Simulator keeps working.
+func (s *Simulator) queue() *queue {
+	if s.q == nil {
+		s.q = queuePool.Get().(*queue)
+	}
+	return s.q
+}
+
+// Recycle returns the simulator's event queue to the process-wide pool
 // for the next New. Legal only once the queue has drained (pending
 // events would be lost); the simulator must not be used afterwards.
 func (s *Simulator) Recycle() {
-	if s.storage == nil || len(s.heap) != 0 {
+	if s.q == nil || s.q.len() != 0 {
 		return
 	}
-	*s.storage = s.heap[:0]
-	heapPool.Put(s.storage)
-	s.storage = nil
-	s.heap = nil
+	s.q.reset()
+	queuePool.Put(s.q)
+	s.q = nil
 }
 
 // Now reports the current virtual time.
@@ -84,11 +96,16 @@ func (s *Simulator) Now() Time { return s.now }
 func (s *Simulator) Processed() uint64 { return s.ran }
 
 // Pending reports how many events are waiting in the queue.
-func (s *Simulator) Pending() int { return len(s.heap) }
+func (s *Simulator) Pending() int {
+	if s.q == nil {
+		return 0
+	}
+	return s.q.len()
+}
 
 // MaxPending reports the high-water mark of the event queue — a gauge
 // for the telemetry layer and for sizing intuition in tests.
-func (s *Simulator) MaxPending() int { return s.maxHeap }
+func (s *Simulator) MaxPending() int { return s.maxPend }
 
 // Scheduled reports how many events have ever been scheduled.
 func (s *Simulator) Scheduled() uint64 { return s.nextID }
@@ -104,7 +121,11 @@ func (s *Simulator) At(at Time, fn Event) {
 		panic("sim: nil event")
 	}
 	s.nextID++
-	s.push(entry{at: at, seq: s.nextID, fn: fn})
+	q := s.queue()
+	q.push(entry{at: at, seq: s.nextID, fn: fn})
+	if n := q.len(); n > s.maxPend {
+		s.maxPend = n
+	}
 }
 
 // After schedules fn to run d seconds from now. Negative delays panic.
@@ -113,10 +134,10 @@ func (s *Simulator) After(d float64, fn Event) { s.At(s.now+d, fn) }
 // Step fires the single earliest pending event and reports whether one
 // existed.
 func (s *Simulator) Step() bool {
-	if len(s.heap) == 0 {
+	if s.q == nil || s.q.len() == 0 {
 		return false
 	}
-	e := s.pop()
+	e := s.q.pop()
 	s.now = e.at
 	s.ran++
 	e.fn(s.now)
@@ -128,20 +149,20 @@ func (s *Simulator) Step() bool {
 // a cancelled replay stops within microseconds of wall time.
 const cancelCheckEvery = 4096
 
-// SetCancel installs a stop channel that Run polls every
+// SetCancel installs a stop channel that Run and RunUntil poll every
 // cancelCheckEvery events; context.Context.Done() is the intended
 // source. A nil channel (the default) removes the check entirely — the
 // drain loop is then identical to the uncancellable one, so the hot
-// path pays nothing. Closing the channel stops Run early, leaving the
-// remaining events queued; use Cancelled to distinguish that exit from
-// a normal drain.
+// path pays nothing. Closing the channel stops the drain early, leaving
+// the remaining events queued; use Cancelled to distinguish that exit
+// from a normal one.
 func (s *Simulator) SetCancel(done <-chan struct{}) {
 	s.cancel = done
 	s.cancelled = false
 }
 
-// Cancelled reports whether the last Run stopped early because the
-// installed cancel channel was closed.
+// Cancelled reports whether the last Run or RunUntil stopped early
+// because the installed cancel channel was closed.
 func (s *Simulator) Cancelled() bool { return s.cancelled }
 
 // Run fires events until the queue drains and returns the final clock
@@ -170,63 +191,35 @@ func (s *Simulator) Run() Time {
 	}
 }
 
-// RunUntil fires events with timestamps <= deadline, leaving later events
-// queued, and advances the clock to deadline if the queue drains early.
+// RunUntil fires events with timestamps <= deadline, leaving later
+// events queued, and advances the clock to deadline if the queue drains
+// early. It honors SetCancel exactly like Run — polling every
+// cancelCheckEvery events — and a cancelled drain returns with the
+// clock at the last fired event, not at the deadline.
 func (s *Simulator) RunUntil(deadline Time) Time {
-	for len(s.heap) > 0 && s.heap[0].at <= deadline {
-		s.Step()
+	if s.cancel == nil {
+		for s.q != nil && s.q.len() > 0 && s.q.peekAt() <= deadline {
+			s.Step()
+		}
+	} else {
+	drain:
+		for {
+			for i := 0; i < cancelCheckEvery; i++ {
+				if s.q == nil || s.q.len() == 0 || s.q.peekAt() > deadline {
+					break drain
+				}
+				s.Step()
+			}
+			select {
+			case <-s.cancel:
+				s.cancelled = true
+				return s.now
+			default:
+			}
+		}
 	}
 	if s.now < deadline {
 		s.now = deadline
 	}
 	return s.now
-}
-
-func (e entry) less(o entry) bool {
-	if e.at != o.at {
-		return e.at < o.at
-	}
-	return e.seq < o.seq
-}
-
-func (s *Simulator) push(e entry) {
-	s.heap = append(s.heap, e)
-	if len(s.heap) > s.maxHeap {
-		s.maxHeap = len(s.heap)
-	}
-	i := len(s.heap) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.heap[i].less(s.heap[parent]) {
-			break
-		}
-		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
-		i = parent
-	}
-}
-
-func (s *Simulator) pop() entry {
-	top := s.heap[0]
-	last := len(s.heap) - 1
-	s.heap[0] = s.heap[last]
-	// Zero the vacated slot so the slack of a drained (and possibly
-	// recycled) heap retains no event closures.
-	s.heap[last] = entry{}
-	s.heap = s.heap[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < len(s.heap) && s.heap[l].less(s.heap[smallest]) {
-			smallest = l
-		}
-		if r < len(s.heap) && s.heap[r].less(s.heap[smallest]) {
-			smallest = r
-		}
-		if smallest == i {
-			return top
-		}
-		s.heap[i], s.heap[smallest] = s.heap[smallest], s.heap[i]
-		i = smallest
-	}
 }

@@ -115,7 +115,7 @@ func RunLiveContext(ctx context.Context, w *Workload, cfg Config, opts LiveOptio
 	if err := scope.Finish(); err != nil {
 		return LiveResult{}, fmt.Errorf("diskthru: telemetry: %w", err)
 	}
-	r.sim.Recycle() // hand the drained event queue to the next replay
+	r.recycle() // hand the drained queue and index storage to the next replay
 	return LiveResult{
 		Result:             res,
 		ServerAccesses:     uint64(w.inner.Server.Len()),

@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-compare fuzz profile serve-smoke
+.PHONY: check vet build test race bench bench-compare fuzz profile serve-smoke metrics-lint
 
-check: vet build race fuzz serve-smoke
+check: vet build race fuzz metrics-lint serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,15 @@ bench-compare:
 # `go tool pprof cpu.prof`.
 profile:
 	$(GO) run ./cmd/diskthru -experiment table2 -quick -cpuprofile cpu.prof -memprofile mem.prof
+
+# Scrape a live test daemon's /metrics through HTTP and validate every
+# family with the exposition parser and linter (naming conventions,
+# HELP/TYPE metadata, histogram invariants, counter monotonicity across
+# scrapes). Guards the Prometheus surface the same way the golden files
+# guard the tables.
+metrics-lint:
+	$(GO) test ./internal/serve -run '^TestMetricsLint$$' -count 1
+	$(GO) test ./internal/metrics -count 1
 
 # End-to-end daemon smoke test: boot diskthrud on an ephemeral port,
 # run fig1 -quick through diskthru-client, require a non-empty table.

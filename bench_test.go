@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"diskthru/internal/experiments"
+	"diskthru/internal/probe"
 )
 
 func benchOptions() experiments.Options { return experiments.Quick() }
@@ -115,6 +116,27 @@ func BenchmarkTable2Summary(b *testing.B) {
 	b.ReportMetric(tb.Column("FOR+HDC")[0], "web%")
 	b.ReportMetric(tb.Column("FOR+HDC")[1], "proxy%")
 	b.ReportMetric(tb.Column("FOR+HDC")[2], "file%")
+}
+
+// BenchmarkProgressProbe is BenchmarkTable2Summary with a live progress
+// tracker attached — the daemon's per-job configuration. Comparing the
+// two pins the probe's overhead: the hook rides the replay engine's
+// event batching, so the delta must stay within noise (< 1%).
+func BenchmarkProgressProbe(b *testing.B) {
+	var tb *experiments.Table
+	for i := 0; i < b.N; i++ {
+		opts := benchOptions()
+		opts.Progress = probe.NewProgress()
+		var err error
+		tb, err = experiments.Run("table2", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f := opts.Progress.Snapshot().Fraction(); f != 1 {
+			b.Fatalf("fraction %v after completion; want 1", f)
+		}
+	}
+	b.ReportMetric(tb.Column("FOR+HDC")[0], "web%")
 }
 
 func BenchmarkAblationFOREviction(b *testing.B) {

@@ -19,6 +19,11 @@
 // wraps the Table 2 pipeline):
 //
 //	diskthru -experiment table2 -quick -cpuprofile cpu.prof -memprofile mem.prof
+//
+// Long runs can report live progress (percent, cells, events, ETA) on
+// stderr without perturbing any result:
+//
+//	diskthru -all -progress
 package main
 
 import (
@@ -61,8 +66,9 @@ func run() int {
 		metrPath  = flag.String("metrics", "", "write per-interval time-series metrics (CSV) to this file")
 		sampleInt = flag.Float64("sample-interval", probe.DefaultSampleInterval,
 			"metrics sampling period in virtual seconds")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile, taken after the last experiment, to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile, taken after the last experiment, to this file")
+		progress = flag.Bool("progress", false, "print a live progress line per experiment to stderr")
 	)
 	flag.Parse()
 
@@ -142,7 +148,15 @@ func run() int {
 
 	for _, n := range names {
 		start := time.Now()
+		stopTicker := func() {}
+		if *progress {
+			// A fresh tracker per experiment: the denominator resets, so
+			// the percent shown is this experiment's, not the sweep's.
+			opts.Progress = probe.NewProgress()
+			stopTicker = startProgressTicker(n, start, opts.Progress)
+		}
 		table, err := experiments.Run(n, opts)
+		stopTicker()
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				fmt.Fprintf(os.Stderr, "diskthru: %s: timed out after %v\n", n, *timeout)
@@ -166,6 +180,45 @@ func run() int {
 		fmt.Println()
 	}
 	return 0
+}
+
+// startProgressTicker prints one stderr status line per second while an
+// experiment runs — cells done, events fired, virtual time, percent and
+// ETA — from the same probe.Progress the daemon's streaming API reads.
+// The returned stop function prints the final 100% line and joins the
+// ticker goroutine; it is safe to call once per ticker.
+func startProgressTicker(name string, start time.Time, p *probe.Progress) func() {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	line := func() {
+		s := p.Snapshot()
+		frac := s.Fraction()
+		eta := "?"
+		if frac > 0 {
+			remaining := time.Since(start).Seconds() * (1 - frac) / frac
+			eta = (time.Duration(remaining * float64(time.Second))).Round(time.Second).String()
+		}
+		fmt.Fprintf(os.Stderr, "diskthru: %s: %3.0f%% (%d/%d cells, %d events, %.1f sim-s, eta %s)\n",
+			name, 100*frac, s.CellsDone, s.CellsTotal, s.Events, s.SimSeconds, eta)
+	}
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				line()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		line() // the terminal 100% line
+	}
 }
 
 // writeHeapProfile snapshots the heap after a GC, so the profile shows

@@ -97,8 +97,9 @@ func TestSIGTERMDrainFinishesInFlightJob(t *testing.T) {
 	}
 	log := stderr.String()
 	// The in-flight job must have completed during the drain, not been
-	// cancelled or abandoned.
-	if !strings.Contains(log, view.ID+" done in") {
+	// cancelled or abandoned. Lifecycle records are slog text lines
+	// carrying the job id as an attribute.
+	if !strings.Contains(log, `msg="job done" job=`+view.ID) {
 		t.Fatalf("drain log does not show %s finishing:\n%s", view.ID, log)
 	}
 	if !strings.Contains(log, "drained, exiting") {

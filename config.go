@@ -168,6 +168,14 @@ type Config struct {
 	// nil, the process-wide default installed by SetDefaultTelemetry
 	// applies (nil again means telemetry off, the default).
 	Telemetry *probe.Telemetry
+	// Progress, when non-nil, receives coarse live-progress deltas from
+	// the replay engine (events fired, virtual seconds advanced),
+	// sampled every few thousand events so the hot path stays
+	// allocation-free. Like Telemetry it is a pure observer — results
+	// are byte-identical with it attached or not — and unlike Telemetry
+	// it is cheap enough to leave on for every daemon job. The
+	// experiment runner threads Options.Progress through this field.
+	Progress *probe.Progress
 	// Faults, when non-nil, installs a deterministic fault injector on
 	// every disk (see internal/fault): transient media errors, latent
 	// sector ranges, and scheduled whole-disk deaths. Nil (default)

@@ -23,6 +23,7 @@ package diskthru
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"diskthru/internal/array"
@@ -117,7 +118,10 @@ type LatencySummary struct {
 // memory regardless of run length, at a resolution of max/4096.
 func summarizeLatencies(v []float64) LatencySummary {
 	if len(v) == 0 {
-		return LatencySummary{}
+		// No samples, no statistics: NaN everywhere (rendered "-" in
+		// tables), not zeros that read like a measured instant response.
+		nan := math.NaN()
+		return LatencySummary{Mean: nan, P50: nan, P95: nan, P99: nan, Max: nan}
 	}
 	var sum stats.Summary
 	for _, x := range v {
@@ -314,6 +318,7 @@ func RunContext(ctx context.Context, w *Workload, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	watchProgress(r.sim, cfg.Progress)
 
 	if cfg.HDCKB > 0 {
 		perDisk := cfg.HDCKB << 10 / r.geom.BlockSize
@@ -392,6 +397,24 @@ func RunContext(ctx context.Context, w *Workload, cfg Config) (Result, error) {
 	}
 	r.recycle() // hand the drained queue and index storage to the next replay
 	return res, nil
+}
+
+// watchProgress subscribes a progress tracker to one replay engine,
+// converting the engine's cumulative (events, clock) reports into the
+// deltas Progress accumulates across concurrent cells. The closure and
+// its two captured counters are the only allocations — one-time, per
+// cell, outside the event loop — and the callback itself is
+// allocation-free, preserving the scheduling-path guarantees.
+func watchProgress(s *sim.Simulator, p *probe.Progress) {
+	if p == nil {
+		return
+	}
+	var lastEvents uint64
+	var lastNow sim.Time
+	s.SetProgress(func(processed uint64, now sim.Time) {
+		p.Advance(processed-lastEvents, now-lastNow)
+		lastEvents, lastNow = processed, now
+	})
 }
 
 // splitRuns partitions a pinned-block plan into two halves, alternating

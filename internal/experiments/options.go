@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+
+	"diskthru/internal/probe"
 )
 
 // Options sizes the experiments. The paper's full scales are expensive
@@ -34,6 +36,14 @@ type Options struct {
 	// -timeout flag both cancel through this field. Nil means run to
 	// completion, exactly as before the field existed.
 	Ctx context.Context
+	// Progress, when non-nil, receives live-progress updates while the
+	// experiment runs: the runner reports the cell plan and each cell
+	// completion, and every cell's replay engine reports events fired
+	// and virtual time advanced (see diskthru.Config.Progress). A pure
+	// observer — tables are byte-identical with it attached or not. The
+	// job daemon attaches one per job; cmd/diskthru's -progress flag
+	// attaches one per experiment.
+	Progress *probe.Progress
 }
 
 // parallelism resolves the worker-pool width.

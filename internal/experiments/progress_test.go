@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+
+	"diskthru/internal/probe"
+)
+
+// A progress tracker is a pure observer: every driver must render
+// byte-identically with one attached or not. This is the experiments-level
+// face of the guarantee Config.Progress documents — the probe rides the
+// replay engine's existing event batching and never perturbs simulation
+// state. A failure here means someone made progress sampling observable.
+func TestProgressObserverPure(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			plain, err := Run(name, tiny())
+			if err != nil {
+				t.Fatalf("without progress: %v", err)
+			}
+			opts := tiny()
+			opts.Progress = probe.NewProgress()
+			observed, err := Run(name, opts)
+			if err != nil {
+				t.Fatalf("with progress: %v", err)
+			}
+			if plain.String() != observed.String() {
+				t.Errorf("table differs with progress attached:\n--- without ---\n%s\n--- with ---\n%s", plain, observed)
+			}
+			snap := opts.Progress.Snapshot()
+			if snap.CellsTotal == 0 {
+				// Constant tables (table1) run no cells; nothing to track.
+				return
+			}
+			if snap.CellsDone != snap.CellsTotal {
+				t.Errorf("progress reports %d/%d cells after completion", snap.CellsDone, snap.CellsTotal)
+			}
+			if f := snap.Fraction(); f != 1 {
+				t.Errorf("fraction %v after completion; want 1", f)
+			}
+		})
+	}
+}
+
+// Drivers that replay simulations must also report event-level progress
+// (events fired, virtual time advanced) — the signal the daemon's ETA
+// rides between cell completions.
+func TestProgressReportsEvents(t *testing.T) {
+	opts := tiny()
+	opts.Progress = probe.NewProgress()
+	if _, err := Run("table2", opts); err != nil {
+		t.Fatal(err)
+	}
+	snap := opts.Progress.Snapshot()
+	if snap.Events == 0 {
+		t.Errorf("no events reported")
+	}
+	if snap.SimSeconds <= 0 {
+		t.Errorf("sim time %v; want > 0", snap.SimSeconds)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"diskthru"
+	"diskthru/internal/probe"
 )
 
 // The experiment drivers decompose into cells: one cell is one
@@ -21,6 +22,7 @@ import (
 type runner struct {
 	par   int
 	ctx   context.Context // never nil; Background when Options.Ctx is unset
+	prog  *probe.Progress // nil-safe; reports cell plan + completions
 	cells []func() error
 }
 
@@ -29,7 +31,7 @@ func newRunner(o Options) *runner {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &runner{par: o.parallelism(), ctx: ctx}
+	return &runner{par: o.parallelism(), ctx: ctx, prog: o.Progress}
 }
 
 // add appends one cell. Cells must not read other cells' slots and must
@@ -64,6 +66,7 @@ func (r *runner) run(wr *workloadRef, cfg diskthru.Config) *diskthru.Result {
 		if err != nil {
 			return err
 		}
+		cfg.Progress = r.prog
 		v, err := diskthru.RunContext(r.ctx, w, cfg)
 		if err != nil {
 			return err
@@ -86,7 +89,9 @@ func (r *runner) compare(wr *workloadRef, base diskthru.Config, systems []diskth
 			if err != nil {
 				return err
 			}
-			v, err := diskthru.RunContext(r.ctx, w, base.WithSystem(sys))
+			cfg := base.WithSystem(sys)
+			cfg.Progress = r.prog
+			v, err := diskthru.RunContext(r.ctx, w, cfg)
 			if err != nil {
 				return fmt.Errorf("%v: %w", sys, err)
 			}
@@ -106,6 +111,7 @@ func (r *runner) runLive(wr *workloadRef, cfg diskthru.Config, opts diskthru.Liv
 		if err != nil {
 			return err
 		}
+		cfg.Progress = r.prog
 		v, err := diskthru.RunLiveContext(r.ctx, w, cfg, opts)
 		if err != nil {
 			return err
@@ -123,7 +129,11 @@ func (r *runner) cell(i int) error {
 	if err := r.ctx.Err(); err != nil {
 		return err
 	}
-	return r.cells[i]()
+	if err := r.cells[i](); err != nil {
+		return err
+	}
+	r.prog.CellDone()
+	return nil
 }
 
 // wait executes the cells and blocks until all have finished or the
@@ -137,6 +147,10 @@ func (r *runner) cell(i int) error {
 // here as the first error of whichever cell observed it.
 func (r *runner) wait() error {
 	n := len(r.cells)
+	// The cell plan is known only now (drivers append cells up to this
+	// point), so this is where the progress tracker learns the
+	// denominator; completions then stream in from cell.
+	r.prog.AddCells(n)
 	par := r.par
 	if par > n {
 		par = n

@@ -1,0 +1,495 @@
+// Package metrics is a dependency-free instrumentation registry:
+// counters, gauges and cumulative histograms, optionally labeled,
+// rendered in the Prometheus text exposition format (version 0.0.4).
+// It is the operational spine of the daemon (internal/serve) and the
+// CLI — everything a scraper sees comes through a Registry.
+//
+// The package deliberately implements only what this repository needs:
+// float64-valued series updated through atomics (no locks on the
+// update path), func-backed series whose value is read at scrape time
+// (so existing mutex-guarded state needs no shadow counters), and a
+// renderer that emits families sorted by name and series sorted by
+// label value, so two scrapes of an idle process are byte-identical.
+//
+// Registration errors — invalid names, label arity mismatches,
+// re-registering a name as a different type — panic: they are wiring
+// bugs in this repository, never runtime conditions.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Naming follows the Prometheus conventions: lowercase metric names
+// with colons reserved for recording rules (we never emit them), and
+// label names that never start with __ (reserved).
+var (
+	metricNameRe = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+)
+
+// Registry holds metric families and renders them for scraping.
+// The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one exposition family: a name, HELP/TYPE metadata, and its
+// series keyed by rendered label set.
+type family struct {
+	name, help, typ string
+	labels          []string // label names of vec families; nil for unlabeled
+
+	mu     sync.Mutex
+	series map[string]renderable
+}
+
+// renderable writes one series' sample lines.
+type renderable interface {
+	render(w *bufio.Writer, name, labels string)
+}
+
+// lookup returns the family, creating it on first use and enforcing
+// metadata consistency on every later one.
+func (r *Registry) lookup(name, help, typ string, labels []string) *family {
+	if !metricNameRe.MatchString(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	if typ == "counter" && !strings.HasSuffix(name, "_total") {
+		panic(fmt.Sprintf("metrics: counter %q must end in _total", name))
+	}
+	for _, l := range labels {
+		if !labelNameRe.MatchString(l) || strings.HasPrefix(l, "__") {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ,
+			labels: append([]string(nil), labels...), series: make(map[string]renderable)}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %q registered as %s and %s", name, f.typ, typ))
+	}
+	if len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("metrics: %q registered with %d and %d labels", name, len(f.labels), len(labels)))
+	}
+	for i := range labels {
+		if f.labels[i] != labels[i] {
+			panic(fmt.Sprintf("metrics: %q label %d registered as %q and %q", name, i, f.labels[i], labels[i]))
+		}
+	}
+	return f
+}
+
+// add installs a series under its canonical label string; registering
+// the same series twice returns the existing one when the kinds match.
+func (f *family) add(labelStr string, s renderable, reuse func(renderable) bool) renderable {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if old, ok := f.series[labelStr]; ok {
+		if reuse != nil && reuse(old) {
+			return old
+		}
+		panic(fmt.Sprintf("metrics: duplicate series %s%s", f.name, labelStr))
+	}
+	f.series[labelStr] = s
+	return s
+}
+
+// labelString renders a label set in canonical form: names in
+// registration order, values escaped per the exposition format.
+func labelString(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	if len(names) != len(values) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels %v", len(values), len(names), names))
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(c)
+		}
+	}
+	return sb.String()
+}
+
+// formatValue renders a sample value. Integral values print without an
+// exponent so counters read naturally; the rest use the shortest
+// round-trip form.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// WritePrometheus renders every family in exposition format, families
+// sorted by name and series by label string, so consecutive scrapes of
+// unchanged state are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, k := range keys {
+			f.series[k].render(bw, f.name, k)
+		}
+		f.mu.Unlock()
+	}
+	return bw.Flush()
+}
+
+// atomicFloat is a float64 updated through its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) load() float64 { return math.Float64frombits(a.bits.Load()) }
+func (a *atomicFloat) store(v float64) {
+	a.bits.Store(math.Float64bits(v))
+}
+func (a *atomicFloat) add(d float64) {
+	for {
+		old := a.bits.Load()
+		if a.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically non-decreasing value.
+type Counter struct{ v atomicFloat }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add adds d; negative deltas panic (a counter never goes down).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("metrics: counter decrement %v", d))
+	}
+	c.v.add(d)
+}
+
+// Value reports the current count.
+func (c *Counter) Value() float64 { return c.v.load() }
+
+func (c *Counter) render(w *bufio.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatValue(c.v.load()))
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v.store(v) }
+
+// Add shifts the value by d (negative is fine).
+func (g *Gauge) Add(d float64) { g.v.add(d) }
+
+// Inc adds one; Dec subtracts one.
+func (g *Gauge) Inc() { g.v.add(1) }
+func (g *Gauge) Dec() { g.v.add(-1) }
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return g.v.load() }
+
+func (g *Gauge) render(w *bufio.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatValue(g.v.load()))
+}
+
+// funcSeries reads its value at scrape time — the bridge to state that
+// already lives behind another mutex (the job table's counters).
+type funcSeries struct{ fn func() float64 }
+
+func (s funcSeries) render(w *bufio.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatValue(s.fn()))
+}
+
+// NewCounter registers and returns an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.lookup(name, help, "counter", nil)
+	return f.add("", &Counter{}, nil).(*Counter)
+}
+
+// NewGauge registers and returns an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.lookup(name, help, "gauge", nil)
+	return f.add("", &Gauge{}, nil).(*Gauge)
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at
+// scrape time. labelPairs is an alternating name, value list; several
+// calls with the same name and distinct label values build one family
+// (e.g. jobs_completed_total by state). fn must be monotonically
+// non-decreasing and safe to call from the scrape goroutine.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64, labelPairs ...string) {
+	names, values := splitPairs(name, labelPairs)
+	f := r.lookup(name, help, "counter", names)
+	f.add(labelString(names, values), funcSeries{fn}, nil)
+}
+
+// NewGaugeFunc is NewCounterFunc for gauges.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64, labelPairs ...string) {
+	names, values := splitPairs(name, labelPairs)
+	f := r.lookup(name, help, "gauge", names)
+	f.add(labelString(names, values), funcSeries{fn}, nil)
+}
+
+// NewInfo registers an info gauge: a constant 1 whose labels carry the
+// payload (build version, Go version, ...).
+func (r *Registry) NewInfo(name, help string, labels map[string]string) {
+	names := make([]string, 0, len(labels))
+	for n := range labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	values := make([]string, len(names))
+	for i, n := range names {
+		values[i] = labels[n]
+	}
+	f := r.lookup(name, help, "gauge", names)
+	f.add(labelString(names, values), funcSeries{func() float64 { return 1 }}, nil)
+}
+
+// splitPairs validates an alternating name, value list.
+func splitPairs(metric string, pairs []string) (names, values []string) {
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("metrics: odd label pair list on %q: %v", metric, pairs))
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		names = append(names, pairs[i])
+		values = append(values, pairs[i+1])
+	}
+	return names, values
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct {
+	f *family
+}
+
+// NewCounterVec registers a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: counter vec %q without labels", name))
+	}
+	return &CounterVec{f: r.lookup(name, help, "counter", labels)}
+}
+
+// With returns the child counter for the given label values, creating
+// it on first use.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	ls := labelString(v.f.labels, labelValues)
+	c := v.f.add(ls, &Counter{}, func(old renderable) bool {
+		_, ok := old.(*Counter)
+		return ok
+	})
+	return c.(*Counter)
+}
+
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct {
+	f *family
+}
+
+// NewGaugeVec registers a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: gauge vec %q without labels", name))
+	}
+	return &GaugeVec{f: r.lookup(name, help, "gauge", labels)}
+}
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	ls := labelString(v.f.labels, labelValues)
+	g := v.f.add(ls, &Gauge{}, func(old renderable) bool {
+		_, ok := old.(*Gauge)
+		return ok
+	})
+	return g.(*Gauge)
+}
+
+// Histogram is a cumulative-bucket histogram. Buckets are upper bounds
+// in increasing order; the implicit +Inf bucket is always present.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // one per bound, plus +Inf at the end
+	sum    atomicFloat
+	n      atomic.Uint64
+}
+
+// DefBuckets are the default latency buckets, in seconds — the
+// Prometheus client defaults, which span 5 ms to 10 s.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// ExponentialBuckets returns n buckets starting at start, each factor
+// times the previous.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: bad exponential buckets (%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram without buckets")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not increasing: %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe adds one sample. NaN samples are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.n.Add(1)
+}
+
+// N reports the sample count.
+func (h *Histogram) N() uint64 { return h.n.Load() }
+
+func (h *Histogram) render(w *bufio.Writer, name, labels string) {
+	// Re-open the label set to append le; "{a="b"}" -> "{a="b",le="x"}".
+	prefix := "{"
+	if labels != "" {
+		prefix = labels[:len(labels)-1] + ","
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%sle=\"%s\"} %d\n", name, prefix, formatValue(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", name, prefix, cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatValue(h.sum.load()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.n.Load())
+}
+
+// NewHistogram registers and returns an unlabeled histogram.
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	f := r.lookup(name, help, "histogram", nil)
+	return f.add("", newHistogram(buckets), nil).(*Histogram)
+}
+
+// HistogramVec is a histogram family keyed by label values. All
+// children share the bucket layout.
+type HistogramVec struct {
+	f       *family
+	buckets []float64
+}
+
+// NewHistogramVec registers a labeled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: histogram vec %q without labels", name))
+	}
+	return &HistogramVec{f: r.lookup(name, help, "histogram", labels), buckets: append([]float64(nil), buckets...)}
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	ls := labelString(v.f.labels, labelValues)
+	v.f.mu.Lock()
+	if old, ok := v.f.series[ls]; ok {
+		v.f.mu.Unlock()
+		if h, ok := old.(*Histogram); ok {
+			return h
+		}
+		panic(fmt.Sprintf("metrics: series %s%s is not a histogram", v.f.name, ls))
+	}
+	h := newHistogram(v.buckets)
+	v.f.series[ls] = h
+	v.f.mu.Unlock()
+	return h
+}

@@ -1,0 +1,253 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestCounterGaugeRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_requests_total", "Requests seen.")
+	c.Inc()
+	c.Add(2)
+	g := r.NewGauge("test_depth", "Queue depth.")
+	g.Set(4)
+	g.Dec()
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP test_requests_total Requests seen.",
+		"# TYPE test_requests_total counter",
+		"test_requests_total 3",
+		"# TYPE test_depth gauge",
+		"test_depth 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecChildrenSortedAndCached(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_jobs_total", "Jobs by state.", "state")
+	v.With("done").Add(2)
+	v.With("failed").Inc()
+	if v.With("done") != v.With("done") {
+		t.Fatal("vec children not cached")
+	}
+	out := render(t, r)
+	done := strings.Index(out, `test_jobs_total{state="done"} 2`)
+	failed := strings.Index(out, `test_jobs_total{state="failed"} 1`)
+	if done < 0 || failed < 0 || done > failed {
+		t.Fatalf("children missing or unsorted:\n%s", out)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	out := render(t, r)
+	for _, want := range []string{
+		`test_latency_seconds_bucket{le="0.1"} 1`,
+		`test_latency_seconds_bucket{le="1"} 3`,
+		`test_latency_seconds_bucket{le="10"} 4`,
+		`test_latency_seconds_bucket{le="+Inf"} 5`,
+		`test_latency_seconds_sum 56.05`,
+		`test_latency_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryLandsInBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_h_seconds", "h", []float64{1, 2})
+	h.Observe(1) // le="1" counts v <= 1
+	out := render(t, r)
+	if !strings.Contains(out, `test_h_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("boundary sample not in its le bucket:\n%s", out)
+	}
+}
+
+func TestFuncSeriesReadAtScrape(t *testing.T) {
+	r := NewRegistry()
+	v := 0.0
+	var mu sync.Mutex
+	r.NewGaugeFunc("test_live", "Live value.", func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return v
+	})
+	r.NewCounterFunc("test_by_state_total", "By state.", func() float64 { return 7 }, "state", "done")
+	r.NewCounterFunc("test_by_state_total", "By state.", func() float64 { return 1 }, "state", "failed")
+	mu.Lock()
+	v = 42
+	mu.Unlock()
+	out := render(t, r)
+	for _, want := range []string{
+		"test_live 42",
+		`test_by_state_total{state="done"} 7`,
+		`test_by_state_total{state="failed"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInfoGauge(t *testing.T) {
+	r := NewRegistry()
+	r.NewInfo("test_build_info", "Build info.", map[string]string{"version": "v1.2", "goversion": "go1.24"})
+	out := render(t, r)
+	if !strings.Contains(out, `test_build_info{goversion="go1.24",version="v1.2"} 1`) {
+		t.Fatalf("info gauge wrong:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("test_weird", "Weird labels.", "path")
+	v.With("a\"b\\c\nd").Set(1)
+	out := render(t, r)
+	want := `test_weird{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(out, want+"\n") {
+		t.Fatalf("escaping wrong, want %q in:\n%s", want, out)
+	}
+	// And the parser round-trips it.
+	fams, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fams[0].Samples[0].Label("path"); got != "a\"b\\c\nd" {
+		t.Fatalf("round-trip label = %q", got)
+	}
+}
+
+func TestScrapeDeterminism(t *testing.T) {
+	r := NewRegistry()
+	hv := r.NewHistogramVec("test_dur_seconds", "Durations.", DefBuckets, "op")
+	hv.With("b").Observe(0.2)
+	hv.With("a").Observe(3)
+	r.NewCounterVec("test_ops_total", "Ops.", "op").With("x").Inc()
+	r.NewGauge("test_g", "g").Set(1.5)
+	if a, b := render(t, r), render(t, r); a != b {
+		t.Fatalf("two scrapes of unchanged state differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	for name, fn := range map[string]func(r *Registry){
+		"bad name":          func(r *Registry) { r.NewCounter("Bad-Name_total", "x") },
+		"counter not total": func(r *Registry) { r.NewCounter("test_requests", "x") },
+		"type clash": func(r *Registry) {
+			r.NewCounter("test_x_total", "x")
+			r.NewGaugeFunc("test_x_total", "x", func() float64 { return 0 })
+		},
+		"label arity":      func(r *Registry) { r.NewCounterVec("test_v_total", "x", "a").With("1", "2") },
+		"negative counter": func(r *Registry) { r.NewCounter("test_c_total", "x").Add(-1) },
+		"bad buckets":      func(r *Registry) { r.NewHistogram("test_h", "x", []float64{2, 1}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn(NewRegistry())
+		})
+	}
+}
+
+func TestConcurrentUpdatesUnderRace(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_n_total", "n")
+	h := r.NewHistogramVec("test_d_seconds", "d", []float64{1}, "op")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+				h.With("op").Observe(float64(j))
+				if j%10 == 0 {
+					_ = render(t, r)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 800 {
+		t.Fatalf("counter = %v, want 800", got)
+	}
+}
+
+func TestParseAndLintOwnOutput(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("test_a_total", "A.").Inc()
+	r.NewGauge("test_b", "B.").Set(2)
+	r.NewHistogram("test_c_seconds", "C.", DefBuckets).Observe(0.3)
+	r.NewInfo("test_build_info", "Build.", map[string]string{"v": "1"})
+	out := render(t, r)
+	fams, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("parse of own output failed: %v\n%s", err, out)
+	}
+	if len(fams) != 4 {
+		t.Fatalf("parsed %d families, want 4", len(fams))
+	}
+	if errs := Lint(fams); len(errs) != 0 {
+		t.Fatalf("lint of own output: %v", errs)
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	for name, doc := range map[string]string{
+		"missing TYPE": "# HELP x_total X.\nx_total 1\n",
+		"counter name": "# HELP bad B.\n# TYPE bad counter\nbad 1\n",
+		"non-cumulative histogram": "# HELP h H.\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 2\nh_count 5\n",
+		"no +Inf bucket": "# HELP h H.\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_sum 2\nh_count 5\n",
+		"count mismatch": "# HELP h H.\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 5\nh_sum 2\nh_count 6\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			fams, err := Parse(strings.NewReader(doc))
+			if err != nil {
+				// Parse-level rejection is an acceptable way to flag it.
+				return
+			}
+			if errs := Lint(fams); len(errs) == 0 {
+				t.Fatalf("lint accepted %q", doc)
+			}
+		})
+	}
+}
+
+func TestParseRejectsStraySamples(t *testing.T) {
+	if _, err := Parse(strings.NewReader("lonely_sample 1\n")); err == nil {
+		t.Fatal("sample without TYPE accepted")
+	}
+	if _, err := Parse(strings.NewReader("# TYPE a gauge\nb 1\n")); err == nil {
+		t.Fatal("sample outside its family accepted")
+	}
+}

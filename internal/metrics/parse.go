@@ -1,0 +1,406 @@
+package metrics
+
+// A small parser for the Prometheus text exposition format, used by the
+// metrics-lint test (internal/serve) to validate everything the daemon
+// exposes: every family must carry HELP and TYPE metadata, names must
+// follow the conventions the package enforces on registration, and
+// histograms must be internally consistent (cumulative buckets ending
+// at +Inf whose total equals _count). The parser accepts exactly the
+// subset the renderer emits plus whitespace slack, and rejects the
+// rest — it is a lint gate, not a general scrape client.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed sample line.
+type Sample struct {
+	// Name is the full sample name, including histogram suffixes
+	// (_bucket, _sum, _count).
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns one label value ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// Family is one parsed metric family: the HELP/TYPE metadata and the
+// samples that follow it.
+type Family struct {
+	Name, Help, Type string
+	Samples          []Sample
+}
+
+// sampleBelongsTo reports whether a sample name belongs to the family:
+// the name itself, or a histogram/summary component suffix.
+func sampleBelongsTo(family, sample string) bool {
+	if sample == family {
+		return true
+	}
+	rest, ok := strings.CutPrefix(sample, family)
+	if !ok {
+		return false
+	}
+	switch rest {
+	case "_bucket", "_sum", "_count":
+		return true
+	}
+	return false
+}
+
+// Parse reads one exposition document. Every sample must follow a TYPE
+// line declaring its family; stray samples are errors (the renderer
+// never emits them, so one indicates a hand-rolled line that bypassed
+// the registry).
+func Parse(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		fams    []Family
+		byName  = make(map[string]int)
+		current = -1 // index into fams of the family TYPE most recently declared
+	)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), " \t")
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			kind, name, rest, err := parseMeta(text)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			if kind == "" { // plain comment
+				continue
+			}
+			i, ok := byName[name]
+			if !ok {
+				i = len(fams)
+				byName[name] = i
+				fams = append(fams, Family{Name: name})
+			}
+			switch kind {
+			case "HELP":
+				if fams[i].Help != "" {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", line, name)
+				}
+				fams[i].Help = rest
+			case "TYPE":
+				if fams[i].Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", line, name)
+				}
+				if len(fams[i].Samples) > 0 {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", line, name)
+				}
+				fams[i].Type = rest
+				current = i
+			}
+			continue
+		}
+		s, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if current < 0 || !sampleBelongsTo(fams[current].Name, s.Name) {
+			return nil, fmt.Errorf("line %d: sample %s outside its family's TYPE block", line, s.Name)
+		}
+		fams[current].Samples = append(fams[current].Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// parseMeta parses "# HELP name text" / "# TYPE name type" lines; other
+// comments return kind "".
+func parseMeta(text string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(text, "#")
+	body = strings.TrimLeft(body, " ")
+	switch {
+	case strings.HasPrefix(body, "HELP "):
+		kind = "HELP"
+		body = strings.TrimPrefix(body, "HELP ")
+	case strings.HasPrefix(body, "TYPE "):
+		kind = "TYPE"
+		body = strings.TrimPrefix(body, "TYPE ")
+	default:
+		return "", "", "", nil
+	}
+	name, rest, ok := strings.Cut(body, " ")
+	if !ok || name == "" {
+		return "", "", "", fmt.Errorf("malformed %s line %q", kind, text)
+	}
+	if kind == "TYPE" {
+		switch rest {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return "", "", "", fmt.Errorf("unknown TYPE %q for %s", rest, name)
+		}
+	}
+	return kind, name, rest, nil
+}
+
+// parseSample parses `name{labels} value`.
+func parseSample(text string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := text
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		s.Name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return s, fmt.Errorf("unterminated label set in %q", text)
+		}
+		var err error
+		s.Labels, err = parseLabels(rest[brace+1 : end])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, text)
+		}
+		rest = strings.TrimLeft(rest[end+1:], " \t")
+	} else {
+		var ok bool
+		s.Name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			return s, fmt.Errorf("no value in sample %q", text)
+		}
+		rest = strings.TrimLeft(rest, " \t")
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty sample name in %q", text)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return s, fmt.Errorf("malformed sample %q", text)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", fields[0], text)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseValue accepts the exposition spellings of special values.
+func parseValue(raw string) (float64, error) {
+	switch raw {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(raw, 64)
+}
+
+// parseLabels parses `k="v",k2="v2"` with the format's escapes.
+func parseLabels(body string) (map[string]string, error) {
+	out := map[string]string{}
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '='")
+		}
+		name := body[i : i+eq]
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", name)
+		}
+		i++
+		var sb strings.Builder
+		for {
+			if i >= len(body) {
+				return nil, fmt.Errorf("unterminated label value for %q", name)
+			}
+			c := body[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return nil, fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch body[i+1] {
+				case '\\':
+					sb.WriteByte('\\')
+				case '"':
+					sb.WriteByte('"')
+				case 'n':
+					sb.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("unknown escape \\%c in label %q", body[i+1], name)
+				}
+				i += 2
+				continue
+			}
+			sb.WriteByte(c)
+			i++
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = sb.String()
+		if i < len(body) {
+			if body[i] != ',' {
+				return nil, fmt.Errorf("expected ',' after label %q", name)
+			}
+			i++
+		}
+	}
+	return out, nil
+}
+
+// Lint validates parsed families against the conventions this package
+// enforces on its own output. It returns one error per violation so a
+// lint test can report them all.
+func Lint(fams []Family) []error {
+	var errs []error
+	addf := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+	seen := make(map[string]bool)
+	for _, f := range fams {
+		if !metricNameRe.MatchString(f.Name) {
+			addf("%s: name violates conventions (want %s)", f.Name, metricNameRe)
+		}
+		if f.Help == "" {
+			addf("%s: missing HELP", f.Name)
+		}
+		if f.Type == "" {
+			addf("%s: missing TYPE", f.Name)
+			continue
+		}
+		if f.Type == "counter" && !strings.HasSuffix(f.Name, "_total") {
+			addf("%s: counter does not end in _total", f.Name)
+		}
+		for _, s := range f.Samples {
+			key := s.Name + canonicalLabels(s.Labels)
+			if seen[key] {
+				addf("%s: duplicate series %s", f.Name, key)
+			}
+			seen[key] = true
+			for l := range s.Labels {
+				if !labelNameRe.MatchString(l) && l != "le" {
+					addf("%s: label %q violates conventions", f.Name, l)
+				}
+			}
+			if f.Type == "counter" && s.Value < 0 {
+				addf("%s: negative counter value %v", f.Name, s.Value)
+			}
+		}
+		if f.Type == "histogram" {
+			errs = append(errs, lintHistogram(f)...)
+		}
+	}
+	return errs
+}
+
+// canonicalLabels renders a parsed label map deterministically for
+// duplicate detection.
+func canonicalLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(labels))
+	for n := range labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	values := make([]string, len(names))
+	for i, n := range names {
+		values[i] = labels[n]
+	}
+	return labelString(names, values)
+}
+
+// lintHistogram checks one histogram family: every series must have
+// cumulative non-decreasing buckets ending at a +Inf bucket whose count
+// equals _count, plus a _sum.
+func lintHistogram(f Family) []error {
+	var errs []error
+	addf := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+	type state struct {
+		lastLe    float64
+		lastCount float64
+		buckets   int
+		infCount  float64
+		haveInf   bool
+		count     float64
+		haveCount bool
+		haveSum   bool
+	}
+	series := make(map[string]*state)
+	order := []string{}
+	get := func(labels map[string]string) *state {
+		// Key by the labels minus le: one state per child histogram.
+		rest := make(map[string]string, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		key := canonicalLabels(rest)
+		st, ok := series[key]
+		if !ok {
+			st = &state{lastLe: math.Inf(-1)}
+			series[key] = st
+			order = append(order, key)
+		}
+		return st
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			st := get(s.Labels)
+			le, err := parseValue(s.Label("le"))
+			if err != nil {
+				addf("%s: bucket with bad le %q", f.Name, s.Label("le"))
+				continue
+			}
+			if le <= st.lastLe {
+				addf("%s: bucket le=%v out of order", f.Name, le)
+			}
+			if s.Value < st.lastCount {
+				addf("%s: bucket le=%v count %v below previous %v (not cumulative)", f.Name, le, s.Value, st.lastCount)
+			}
+			st.lastLe, st.lastCount = le, s.Value
+			st.buckets++
+			if math.IsInf(le, 1) {
+				st.haveInf, st.infCount = true, s.Value
+			}
+		case f.Name + "_sum":
+			get(s.Labels).haveSum = true
+		case f.Name + "_count":
+			st := get(s.Labels)
+			st.haveCount, st.count = true, s.Value
+		default:
+			addf("%s: stray sample %s in histogram family", f.Name, s.Name)
+		}
+	}
+	for _, key := range order {
+		st := series[key]
+		label := f.Name + key
+		if !st.haveInf {
+			addf("%s: no +Inf bucket", label)
+		}
+		if !st.haveSum {
+			addf("%s: missing _sum", label)
+		}
+		if !st.haveCount {
+			addf("%s: missing _count", label)
+		} else if st.haveInf && st.count != st.infCount {
+			addf("%s: _count %v != +Inf bucket %v", label, st.count, st.infCount)
+		}
+	}
+	return errs
+}

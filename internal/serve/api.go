@@ -4,26 +4,35 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 )
 
 // Handler returns the daemon's HTTP surface:
 //
-//	POST   /v1/jobs      submit a Spec        -> 202 View | 400 | 429 | 503
-//	GET    /v1/jobs      list jobs            -> 200 []View
-//	GET    /v1/jobs/{id} status + result      -> 200 View | 404
-//	DELETE /v1/jobs/{id} cancel               -> 202 View | 404
-//	GET    /healthz      liveness + drain flag
-//	GET    /metrics      text counters (see Metrics)
+//	POST   /v1/jobs               submit a Spec        -> 202 View | 400 | 429 | 503
+//	GET    /v1/jobs               list jobs            -> 200 []View
+//	GET    /v1/jobs/{id}          status + result      -> 200 View | 404
+//	GET    /v1/jobs/{id}/progress NDJSON live progress -> 200 stream | 404
+//	DELETE /v1/jobs/{id}          cancel               -> 202 View | 404
+//	GET    /healthz               liveness + drain flag
+//	GET    /metrics               Prometheus text; ?format=legacy for the
+//	                              pre-registry listing (see Metrics)
 //
-// All bodies are JSON except /metrics (text/plain).
+// All bodies are JSON except /metrics (text/plain) and the progress
+// stream (application/x-ndjson). Every route is instrumented with the
+// request-count and latency metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(route, h))
+	}
+	handle("POST /v1/jobs", "/v1/jobs", s.handleSubmit)
+	handle("GET /v1/jobs", "/v1/jobs", s.handleList)
+	handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleGet)
+	handle("GET /v1/jobs/{id}/progress", "/v1/jobs/{id}/progress", s.handleProgress)
+	handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.handleCancel)
+	handle("GET /healthz", "/healthz", s.handleHealthz)
+	handle("GET /metrics", "/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -101,5 +110,53 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_, _ = w.Write([]byte(s.Metrics()))
+	if r.URL.Query().Get("format") == "legacy" {
+		_, _ = w.Write([]byte(s.Metrics()))
+		return
+	}
+	_ = s.reg.WritePrometheus(w) // header is out; nothing left to do on error
+}
+
+// handleProgress streams the job's progress as NDJSON — one View per
+// line (result stripped; fetch it from GET /v1/jobs/{id} once done),
+// roughly ten per second, until the job reaches a terminal state or the
+// client goes away. The final line carries the terminal state, so a
+// reader can simply consume until EOF.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Get(id); !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	s.streams.Inc()
+	defer s.streams.Dec()
+
+	enc := json.NewEncoder(w) // Encode terminates each line with \n
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		v, ok := s.Get(id)
+		if !ok { // unreachable today (jobs are never deleted), but stay safe
+			return
+		}
+		v.Result = ""
+		if err := enc.Encode(v); err != nil {
+			return // client went away mid-write
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if v.State.terminal() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
 }

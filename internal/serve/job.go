@@ -2,9 +2,11 @@ package serve
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"diskthru/internal/experiments"
+	"diskthru/internal/probe"
 )
 
 // State is a job's position in its lifecycle. Transitions are strictly
@@ -92,6 +94,16 @@ type job struct {
 	// cancel interrupts the running replay; non-nil only while the job
 	// is running.
 	cancel func()
+	// progress is the job's live tracker, created at submission and
+	// handed to the runner; its counters are atomics, so view can read
+	// it while the replay writes.
+	progress *probe.Progress
+	// maxFrac floors the reported completion fraction (under mu).
+	// Multi-phase drivers grow the cell plan while running, which can
+	// move the raw fraction backwards; clients see it only ever rise.
+	maxFrac float64
+	// log carries the job id and experiment on every record.
+	log *slog.Logger
 
 	submitted time.Time
 	started   time.Time
@@ -106,9 +118,36 @@ type View struct {
 	Error  string `json:"error,omitempty"`
 	Result string `json:"result,omitempty"`
 
+	// Progress is present once the job has started: live while it
+	// runs, final once terminal.
+	Progress *ProgressView `json:"progress,omitempty"`
+
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// ProgressView is the wire shape of a job's live progress. Percent is
+// monotone for any single job — repeated polls never see it decrease —
+// because the serving layer floors it at the highest fraction ever
+// observed (drivers may grow their cell plan mid-run).
+type ProgressView struct {
+	// CellsDone / CellsTotal count completed simulation cells against
+	// the plan known so far.
+	CellsDone  int64 `json:"cells_done"`
+	CellsTotal int64 `json:"cells_total"`
+	// Events is the cumulative discrete-event count across all cells;
+	// SimSeconds the cumulative virtual time simulated.
+	Events     uint64  `json:"events"`
+	SimSeconds float64 `json:"sim_seconds"`
+	// Percent is completion in [0, 100].
+	Percent float64 `json:"percent"`
+	// ElapsedSeconds is wall-clock time since the job started running.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// ETASeconds estimates the remaining wall-clock time by scaling
+	// elapsed time with the completed fraction: -1 while unknown (no
+	// cells finished yet), 0 once the job is terminal.
+	ETASeconds float64 `json:"eta_seconds"`
 }
 
 // view snapshots the job; the caller must hold the server mutex.
@@ -129,5 +168,46 @@ func (j *job) view() View {
 		t := j.finished
 		v.FinishedAt = &t
 	}
+	v.Progress = j.progressView()
 	return v
+}
+
+// progressView assembles the live progress block; the caller must hold
+// the server mutex (it advances the job's monotonic-fraction floor).
+// Nil before the job starts running.
+func (j *job) progressView() *ProgressView {
+	if j.started.IsZero() {
+		return nil
+	}
+	snap := j.progress.Snapshot()
+	frac := snap.Fraction()
+	if frac < j.maxFrac {
+		frac = j.maxFrac
+	}
+	j.maxFrac = frac
+
+	pv := &ProgressView{
+		CellsDone:  snap.CellsDone,
+		CellsTotal: snap.CellsTotal,
+		Events:     snap.Events,
+		SimSeconds: snap.SimSeconds,
+	}
+	switch {
+	case j.state.terminal():
+		if j.state == StateDone {
+			frac = 1
+		}
+		pv.Percent = 100 * frac
+		pv.ElapsedSeconds = j.finished.Sub(j.started).Seconds()
+		pv.ETASeconds = 0
+	default:
+		pv.Percent = 100 * frac
+		pv.ElapsedSeconds = time.Since(j.started).Seconds()
+		if frac > 0 {
+			pv.ETASeconds = pv.ElapsedSeconds * (1 - frac) / frac
+		} else {
+			pv.ETASeconds = -1
+		}
+	}
+	return pv
 }

@@ -17,6 +17,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime/debug"
 	"sort"
 	"strings"
@@ -24,6 +26,8 @@ import (
 	"time"
 
 	"diskthru/internal/experiments"
+	"diskthru/internal/metrics"
+	"diskthru/internal/probe"
 	"diskthru/internal/stats"
 )
 
@@ -53,11 +57,14 @@ type Config struct {
 	// MaxTimeout caps every job's deadline when positive; requests
 	// beyond it are clamped, and jobs without any timeout get this one.
 	MaxTimeout time.Duration
-	// Runner executes one job. Nil means the real experiments-backed
-	// runner; tests inject controllable stand-ins.
-	Runner func(ctx context.Context, spec Spec) (string, error)
-	// Logf, when non-nil, receives one line per lifecycle transition.
-	Logf func(format string, args ...any)
+	// Runner executes one job, reporting into prog (never nil) as it
+	// goes. Nil means the real experiments-backed runner; tests inject
+	// controllable stand-ins.
+	Runner func(ctx context.Context, spec Spec, prog *probe.Progress) (string, error)
+	// Logger, when non-nil, receives one structured record per job
+	// lifecycle transition, each carrying at least the job id. Nil
+	// discards logs.
+	Logger *slog.Logger
 }
 
 // Server is the job daemon: admission queue, worker pool, job table,
@@ -65,6 +72,7 @@ type Config struct {
 type Server struct {
 	cfg   Config
 	queue chan *job
+	log   *slog.Logger
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -78,6 +86,17 @@ type Server struct {
 	running, done, failed, canceled           int
 	// perExp summarizes wall-clock seconds of completed (done) jobs.
 	perExp map[string]*stats.Summary
+
+	// Prometheus surface (see initMetrics). The registry reads the
+	// counters above through func-backed series; these fields are the
+	// registry-native extras.
+	reg        *metrics.Registry
+	jobDur     *metrics.HistogramVec
+	queueWait  *metrics.Histogram
+	workerBusy *metrics.Counter
+	streams    *metrics.Gauge
+	httpReqs   *metrics.CounterVec
+	httpDur    *metrics.HistogramVec
 
 	wg sync.WaitGroup
 }
@@ -93,15 +112,18 @@ func New(cfg Config) *Server {
 	if cfg.Runner == nil {
 		cfg.Runner = runSpec
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &Server{
 		cfg:    cfg,
 		queue:  make(chan *job, cfg.QueueCap),
+		log:    logger,
 		jobs:   make(map[string]*job),
 		perExp: make(map[string]*stats.Summary),
 	}
+	s.initMetrics()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -112,9 +134,10 @@ func New(cfg Config) *Server {
 // runSpec is the production runner: the same registry, options and
 // rendering the CLI uses, so a job's result is byte-identical to
 // `diskthru -experiment <name>` at the same scale and seed.
-func runSpec(ctx context.Context, sp Spec) (string, error) {
+func runSpec(ctx context.Context, sp Spec, prog *probe.Progress) (string, error) {
 	o := sp.options()
 	o.Ctx = ctx
+	o.Progress = prog
 	t, err := experiments.Run(sp.Experiment, o)
 	if err != nil {
 		return "", err
@@ -149,7 +172,9 @@ func (s *Server) Submit(spec Spec) (View, error) {
 		spec:      spec,
 		state:     StateQueued,
 		submitted: time.Now(),
+		progress:  probe.NewProgress(),
 	}
+	j.log = s.log.With("job", j.id, "experiment", spec.Experiment)
 	// The queue send stays under mu: admission and Drain's close of the
 	// channel serialize on the same lock, so a send can never hit a
 	// closed queue, and a full buffered channel fails over to default
@@ -163,7 +188,7 @@ func (s *Server) Submit(spec Spec) (View, error) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.submitted++
-	s.cfg.Logf("serve: %s queued (%s)", j.id, spec.Experiment)
+	j.log.Info("job queued", "queue_depth", len(s.queue))
 	return j.view(), nil
 }
 
@@ -218,10 +243,10 @@ func (s *Server) cancelLocked(j *job) {
 		j.state = StateCanceled
 		j.finished = time.Now()
 		s.canceled++
-		s.cfg.Logf("serve: %s canceled while queued", j.id)
+		j.log.Info("job canceled while queued")
 	case StateRunning:
 		j.cancel()
-		s.cfg.Logf("serve: %s cancel requested mid-run", j.id)
+		j.log.Info("job cancel requested mid-run")
 	}
 }
 
@@ -242,7 +267,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.queue) // workers drain the buffered jobs, then exit
-		s.cfg.Logf("serve: draining: admission closed, %d job(s) pending", len(s.queue)+s.running)
+		s.log.Info("draining: admission closed", "pending", len(s.queue)+s.running)
 	}
 	s.mu.Unlock()
 
@@ -290,7 +315,9 @@ func (s *Server) execute(j *job) {
 	j.started = time.Now()
 	s.running++
 	s.mu.Unlock()
-	s.cfg.Logf("serve: %s running (%s, timeout %v)", j.id, j.spec.Experiment, timeout)
+	s.queueWait.Observe(j.started.Sub(j.submitted).Seconds())
+	j.log.Info("job running", "timeout", timeout.String(),
+		"queue_wait_seconds", j.started.Sub(j.submitted).Seconds())
 
 	result, err := s.runJob(ctx, j)
 	if err == nil && ctx.Err() == context.DeadlineExceeded {
@@ -305,24 +332,26 @@ func (s *Server) execute(j *job) {
 	j.cancel = nil
 	j.finished = time.Now()
 	s.running--
+	wall := j.finished.Sub(j.started).Seconds()
+	s.workerBusy.Add(wall)
 	switch {
 	case err == nil:
 		j.state = StateDone
 		j.result = result
 		s.done++
-		wall := j.finished.Sub(j.started).Seconds()
 		sum, ok := s.perExp[j.spec.Experiment]
 		if !ok {
 			sum = &stats.Summary{}
 			s.perExp[j.spec.Experiment] = sum
 		}
 		sum.Observe(wall)
-		s.cfg.Logf("serve: %s done in %.3fs", j.id, wall)
+		s.jobDur.With(j.spec.Experiment).Observe(wall)
+		j.log.Info("job done", "seconds", wall)
 	case j.canceled && !errors.Is(err, context.DeadlineExceeded):
 		j.state = StateCanceled
 		j.err = err.Error()
 		s.canceled++
-		s.cfg.Logf("serve: %s canceled mid-run", j.id)
+		j.log.Info("job canceled mid-run", "seconds", wall)
 	default:
 		j.state = StateFailed
 		if errors.Is(err, context.DeadlineExceeded) {
@@ -330,7 +359,7 @@ func (s *Server) execute(j *job) {
 		}
 		j.err = err.Error()
 		s.failed++
-		s.cfg.Logf("serve: %s failed: %v", j.id, err)
+		j.log.Error("job failed", "error", err.Error(), "seconds", wall)
 	}
 }
 
@@ -342,10 +371,10 @@ func (s *Server) runJob(ctx context.Context, j *job) (result string, err error) 
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("job panicked: %v", r)
-			s.cfg.Logf("serve: %s panic: %v\n%s", j.id, r, debug.Stack())
+			j.log.Error("job panic", "panic", fmt.Sprint(r), "stack", string(debug.Stack()))
 		}
 	}()
-	return s.cfg.Runner(ctx, j.spec)
+	return s.cfg.Runner(ctx, j.spec, j.progress)
 }
 
 // jobContext builds the per-job context: cancellable always, with a
@@ -366,8 +395,11 @@ func (s *Server) jobContext(sp Spec) (context.Context, context.CancelFunc, time.
 	return ctx, cancel, 0
 }
 
-// Metrics renders the daemon's counters as a plain-text gauge listing,
-// one `name{labels} value` per line, ready for scraping or eyeballs.
+// Metrics renders the daemon's counters in the legacy plain listing —
+// one `name{labels} value` per line, no HELP/TYPE metadata — the format
+// /metrics spoke before the Prometheus registry existed. It is served
+// at /metrics?format=legacy for scrapers pinned to the old names and is
+// frozen: new series go in the registry (see initMetrics), not here.
 func (s *Server) Metrics() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()

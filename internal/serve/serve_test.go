@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"diskthru/internal/experiments"
+	"diskthru/internal/probe"
 )
 
 // harness wraps a Server in an httptest server.
@@ -38,9 +39,9 @@ func newHarness(t *testing.T, cfg Config) *harness {
 // blockingRunner returns a runner that parks until its context fires or
 // release is closed, plus the release function. started receives one
 // value per invocation.
-func blockingRunner(started chan<- string) (func(ctx context.Context, sp Spec) (string, error), func()) {
+func blockingRunner(started chan<- string) (func(ctx context.Context, sp Spec, prog *probe.Progress) (string, error), func()) {
 	release := make(chan struct{})
-	run := func(ctx context.Context, sp Spec) (string, error) {
+	run := func(ctx context.Context, sp Spec, prog *probe.Progress) (string, error) {
 		if started != nil {
 			started <- sp.Experiment
 		}

@@ -68,6 +68,40 @@ func TestFarRungAllocFree(t *testing.T) {
 	}
 }
 
+// An installed progress hook moves Run onto the batched drain loop
+// (shared with cancellation polling); that loop and the notification
+// itself must stay allocation-free, or every instrumented daemon job
+// pays per-event garbage the plain path does not.
+func TestProgressHookAllocFree(t *testing.T) {
+	s := New()
+	var calls uint64
+	s.SetProgress(func(processed uint64, now Time) { calls = processed })
+	remaining := 0
+	var tick Event
+	tick = func(now Time) {
+		if remaining > 0 {
+			remaining--
+			s.After(1e-3, tick)
+		}
+	}
+	burst := func() {
+		remaining = 512
+		for i := 0; i < 32; i++ {
+			s.At(s.Now()+Time(i)*1e-4, tick)
+		}
+		s.Run()
+	}
+	for i := 0; i < 8; i++ {
+		burst() // settle width and slot capacities
+	}
+	if avg := testing.AllocsPerRun(20, burst); avg > 0 {
+		t.Errorf("progress-instrumented drain allocates %.1f times per drain; want 0", avg)
+	}
+	if calls == 0 {
+		t.Fatalf("progress hook never invoked")
+	}
+}
+
 // RunUntil's bounded drain peeks at the queue head between steps; the
 // peek (and the cursor advances it may trigger) must not allocate.
 func TestRunUntilAllocFree(t *testing.T) {

@@ -51,6 +51,10 @@ type Simulator struct {
 	// still queued.
 	cancel    <-chan struct{}
 	cancelled bool
+	// progress, when non-nil, is invoked between the same event batches
+	// (and once when a drain ends) with the cumulative processed-event
+	// count and the clock — the hook the live-progress layer rides.
+	progress func(processed uint64, now Time)
 }
 
 // queuePool recycles whole event queues — ring buckets, overflow heap
@@ -165,13 +169,33 @@ func (s *Simulator) SetCancel(done <-chan struct{}) {
 // because the installed cancel channel was closed.
 func (s *Simulator) Cancelled() bool { return s.cancelled }
 
+// SetProgress installs a callback that Run and RunUntil invoke every
+// cancelCheckEvery events and once more when a drain ends, passing the
+// cumulative processed-event count and the current clock. Like
+// SetCancel, a nil callback (the default) removes the check entirely,
+// so the uninstrumented drain loop is byte-for-byte the old one and
+// the hot path pays nothing. The callback must not schedule events or
+// otherwise touch the simulation — it is a pure observer (the
+// determinism tests pin this) — and it must not allocate if the
+// zero-alloc guarantees are to hold (see alloc_test.go).
+func (s *Simulator) SetProgress(fn func(processed uint64, now Time)) {
+	s.progress = fn
+}
+
+// notifyProgress reports the drain position to the installed observer.
+func (s *Simulator) notifyProgress() {
+	if s.progress != nil {
+		s.progress(s.ran, s.now)
+	}
+}
+
 // Run fires events until the queue drains and returns the final clock
 // value (the makespan of whatever was simulated). With a cancel channel
 // installed (SetCancel), a close stops the run within cancelCheckEvery
 // events; Cancelled then reports true and the unfired events stay
 // queued.
 func (s *Simulator) Run() Time {
-	if s.cancel == nil {
+	if s.cancel == nil && s.progress == nil {
 		for s.Step() {
 		}
 		return s.now
@@ -179,14 +203,18 @@ func (s *Simulator) Run() Time {
 	for {
 		for i := 0; i < cancelCheckEvery; i++ {
 			if !s.Step() {
+				s.notifyProgress()
 				return s.now
 			}
 		}
-		select {
-		case <-s.cancel:
-			s.cancelled = true
-			return s.now
-		default:
+		s.notifyProgress()
+		if s.cancel != nil {
+			select {
+			case <-s.cancel:
+				s.cancelled = true
+				return s.now
+			default:
+			}
 		}
 	}
 }
@@ -197,7 +225,7 @@ func (s *Simulator) Run() Time {
 // cancelCheckEvery events — and a cancelled drain returns with the
 // clock at the last fired event, not at the deadline.
 func (s *Simulator) RunUntil(deadline Time) Time {
-	if s.cancel == nil {
+	if s.cancel == nil && s.progress == nil {
 		for s.q != nil && s.q.len() > 0 && s.q.peekAt() <= deadline {
 			s.Step()
 		}
@@ -210,13 +238,17 @@ func (s *Simulator) RunUntil(deadline Time) Time {
 				}
 				s.Step()
 			}
-			select {
-			case <-s.cancel:
-				s.cancelled = true
-				return s.now
-			default:
+			s.notifyProgress()
+			if s.cancel != nil {
+				select {
+				case <-s.cancel:
+					s.cancelled = true
+					return s.now
+				default:
+				}
 			}
 		}
+		s.notifyProgress()
 	}
 	if s.now < deadline {
 		s.now = deadline

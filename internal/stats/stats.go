@@ -179,10 +179,13 @@ func (h *Histogram) Buckets() int { return len(h.buckets) }
 
 // Quantile reports an approximate q-quantile (bucket midpoint). The
 // boundaries are defined: q=0 is the midpoint of the first non-empty
-// bucket and q=1 is Hi, the histogram's upper edge.
+// bucket and q=1 is Hi, the histogram's upper edge. With no
+// observations there is no quantile, so the result is NaN — not a
+// bucket edge a caller could mistake for a measured zero-latency; the
+// table renderer prints NaN cells as "-".
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.n == 0 {
-		return 0
+		return math.NaN()
 	}
 	target := uint64(q * float64(h.n))
 	var cum uint64

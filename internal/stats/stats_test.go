@@ -135,9 +135,14 @@ func TestHistogramQuantile(t *testing.T) {
 	if q := h.Quantile(0.99); q < 95 {
 		t.Fatalf("p99 = %v", q)
 	}
+	// No observations means no quantile: NaN, never a bucket edge that
+	// reads like a measured value (regression guard — this used to
+	// return 0, indistinguishable from a true zero-latency population).
 	empty := NewHistogram(0, 1, 4)
-	if empty.Quantile(0.5) != 0 {
-		t.Fatal("empty quantile non-zero")
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := empty.Quantile(q); !math.IsNaN(v) {
+			t.Fatalf("empty Quantile(%v) = %v, want NaN", q, v)
+		}
 	}
 }
 

@@ -74,6 +74,7 @@ func RunLiveContext(ctx context.Context, w *Workload, cfg Config, opts LiveOptio
 	if err != nil {
 		return LiveResult{}, err
 	}
+	watchProgress(r.sim, cfg.Progress)
 	// Static HDC plan (top-miss blocks) unless the victim policy manages
 	// the region dynamically.
 	if cfg.HDCKB > 0 && !opts.VictimHDC {

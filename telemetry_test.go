@@ -5,6 +5,7 @@ import (
 	"bytes"
 	gocsv "encoding/csv"
 	"encoding/json"
+	"fmt"
 	"reflect"
 	"strconv"
 	"strings"
@@ -33,7 +34,9 @@ func TestTelemetryIsPureObserver(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		if !reflect.DeepEqual(plain, traced) {
+		// Formatted comparison, not DeepEqual: empty latency summaries
+		// carry NaN, which DeepEqual treats as unequal to itself.
+		if fmt.Sprintf("%+v", plain) != fmt.Sprintf("%+v", traced) {
 			t.Fatalf("%v: telemetry changed the result:\nplain:  %+v\ntraced: %+v",
 				sys, plain, traced)
 		}

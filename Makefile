@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-compare fuzz profile serve-smoke metrics-lint
+.PHONY: check vet build test race bench bench-compare bench-long fuzz profile serve-smoke metrics-lint
 
-check: vet build race fuzz metrics-lint serve-smoke
+check: vet build race fuzz metrics-lint serve-smoke bench-long
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +46,12 @@ bench:
 bench-compare:
 	$(GO) test -bench . -benchmem -benchtime 1x -count 3 -run '^$$' . | $(GO) run ./cmd/benchjson -compare BENCH_quick.json
 	$(GO) test -bench '^Benchmark(Faults|Degraded)$$' -benchmem -benchtime 1x -count 3 -run '^$$' . | $(GO) run ./cmd/benchjson -compare BENCH_faults.json
+
+# The flat-heap gate for long-horizon runs: BenchmarkLongRun replays the
+# longrun source workload at 1x and 10x the simulated makespan and fails
+# if the live heap after the long run exceeds the short one by > 10%.
+bench-long:
+	$(GO) test -bench '^BenchmarkLongRun$$' -benchmem -benchtime 1x -run '^$$' .
 
 # CPU and heap profiles of the Table 2 pipeline (the hottest full-system
 # path: all three workloads against both systems). Inspect with

@@ -8,18 +8,34 @@ package diskthru_test
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
+	"diskthru"
 	"diskthru/internal/experiments"
 	"diskthru/internal/probe"
 )
 
 func benchOptions() experiments.Options { return experiments.Quick() }
 
+// reportHeap records the run's memory trajectory alongside the timing
+// metrics: live heap after a final collection (heapMB), bytes allocated
+// per iteration (totalMB/op), and GC cycles per iteration (gcs/op). The
+// numbers land in BENCH_quick.json through `make bench`, and
+// bench-compare diffs heapMB across commits the way it diffs ns/op.
+func reportHeap(b *testing.B, before, after *runtime.MemStats) {
+	b.ReportMetric(float64(after.HeapAlloc)/(1<<20), "heapMB")
+	b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(b.N)/(1<<20), "totalMB/op")
+	b.ReportMetric(float64(after.NumGC-before.NumGC)/float64(b.N), "gcs/op")
+}
+
 // runExperiment executes the named experiment b.N times and returns the
 // last table for metric extraction.
 func runExperiment(b *testing.B, name string) *experiments.Table {
 	b.Helper()
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	var tb *experiments.Table
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -28,6 +44,10 @@ func runExperiment(b *testing.B, name string) *experiments.Table {
 			b.Fatal(err)
 		}
 	}
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	reportHeap(b, &m0, &m1)
 	return tb
 }
 
@@ -227,4 +247,52 @@ func BenchmarkDegraded(b *testing.B) {
 func BenchmarkModelVsSim(b *testing.B) {
 	tb := runExperiment(b, "model-vs-sim")
 	b.ReportMetric(tb.Column("simulated")[0], "perOpRatio")
+}
+
+// BenchmarkLongRun pins the tentpole guarantee of the constant-memory
+// path: simulation memory is independent of the makespan. It replays
+// the longrun source workload (generated arrivals, spill-to-writer off,
+// streaming statistics on) at 1x and 10x the simulated horizon and
+// requires the live heap after the long run to stay within 10% of the
+// short one — O(1) in simulated hours, not O(makespan). The two heap
+// readings and their ratio are reported, so `make bench` records them
+// in BENCH_quick.json.
+func BenchmarkLongRun(b *testing.B) {
+	const rate = 400
+	const baseHours = 0.02 // 10x = 0.2 simulated hours = 288k arrivals
+	run := func(hours float64) uint64 {
+		w, err := diskthru.LongRunWorkload(diskthru.LongRunOptions{
+			Hours:         hours,
+			RatePerSecond: rate,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := diskthru.DefaultConfig()
+		cfg.ArrivalRate = rate
+		cfg.StreamStats = true
+		res, err := diskthru.Run(w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Latency.N == 0 {
+			b.Fatal("open-loop run reported no latencies")
+		}
+		runtime.GC()
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return m.HeapAlloc
+	}
+	var h1, h10 uint64
+	for i := 0; i < b.N; i++ {
+		h1 = run(baseHours)
+		h10 = run(10 * baseHours)
+	}
+	ratio := float64(h10) / float64(h1)
+	b.ReportMetric(float64(h1)/(1<<20), "heap1xMB")
+	b.ReportMetric(float64(h10)/(1<<20), "heap10xMB")
+	b.ReportMetric(ratio, "heapRatio")
+	if ratio > 1.10 {
+		b.Fatalf("heap grew %.2fx from 1x to 10x makespan; want <= 1.10", ratio)
+	}
 }

@@ -135,8 +135,10 @@ func main() {
 
 // compareMetrics are the value/unit pairs a -compare run diffs; the
 // rest (MB/s, custom ReportMetric units) describe the simulated system,
-// not the simulator's own cost.
-var compareMetrics = []string{"ns/op", "allocs/op"}
+// not the simulator's own cost. heapMB is the live heap after the
+// benchmark's final collection (see bench_test.go reportHeap), so a
+// memory regression gates the same way a time regression does.
+var compareMetrics = []string{"ns/op", "allocs/op", "heapMB"}
 
 // compare prints per-benchmark deltas of the cost metrics against the
 // baseline file and reports whether everything stayed within the

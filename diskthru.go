@@ -145,6 +145,24 @@ func summarizeLatencies(v []float64) LatencySummary {
 	}
 }
 
+// summarizeStream converts a streaming sketch into the latency summary:
+// count, mean, and max are exact (same accumulator as the two-pass
+// path), percentiles are sketch midpoints accurate to one bucket width.
+func summarizeStream(s *stats.StreamSummary) LatencySummary {
+	if s.N() == 0 {
+		nan := math.NaN()
+		return LatencySummary{Mean: nan, P50: nan, P95: nan, P99: nan, Max: nan}
+	}
+	return LatencySummary{
+		N:    s.N(),
+		Mean: s.Mean(),
+		P50:  s.Quantile(0.50),
+		P95:  s.Quantile(0.95),
+		P99:  s.Quantile(0.99),
+		Max:  s.Max(),
+	}
+}
+
 // Throughput reports requested payload bytes per second of I/O time.
 func (r Result) Throughput() float64 {
 	if r.IOTime <= 0 {
@@ -313,6 +331,13 @@ func RunContext(ctx context.Context, w *Workload, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	inner := w.inner
+	source := inner.NewSource != nil
+	if source && cfg.ArrivalRate <= 0 {
+		return Result{}, fmt.Errorf("diskthru: %s is an open-loop source workload; set Config.ArrivalRate", w.Name())
+	}
+	if source && cfg.HDCKB > 0 {
+		return Result{}, fmt.Errorf("diskthru: host-guided caching plans over a materialized trace; %s generates records on the fly", w.Name())
+	}
 	scope := cfg.telemetry().StartRun(fmt.Sprintf("%s-%s", w.Name(), cfg.System))
 	r, err := buildRig(w, cfg, scope.Tracer())
 	if err != nil {
@@ -353,7 +378,7 @@ func RunContext(ctx context.Context, w *Workload, cfg Config) (Result, error) {
 	if cfg.SequentialIssue {
 		issue = host.IssueSequential
 	}
-	h, err := host.New(r.sim, r.disks, r.striper, inner.Layout, host.Config{
+	hostCfg := host.Config{
 		Streams:        streams,
 		CoalesceProb:   cfg.CoalesceProb,
 		Seed:           cfg.Seed,
@@ -365,7 +390,16 @@ func RunContext(ctx context.Context, w *Workload, cfg Config) (Result, error) {
 		ArrivalRate:    cfg.ArrivalRate,
 		RequestTimeout: cfg.RequestTimeoutSeconds,
 		DiskBlocks:     r.geom.Blocks(),
-	})
+	}
+	// Streaming aggregation: response times fold into a fixed-size
+	// sketch as they complete instead of accumulating per-sample. The
+	// default path is untouched so its tables stay byte-identical.
+	var stream *stats.StreamSummary
+	if cfg.StreamStats && cfg.ArrivalRate > 0 {
+		stream = &stats.StreamSummary{}
+		hostCfg.OnLatency = stream.Observe
+	}
+	h, err := host.New(r.sim, r.disks, r.striper, inner.Layout, hostCfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -379,14 +413,23 @@ func RunContext(ctx context.Context, w *Workload, cfg Config) (Result, error) {
 	if done := ctx.Done(); done != nil {
 		r.sim.SetCancel(done)
 	}
-	end := h.Replay(inner.Trace)
+	var end sim.Time
+	if source {
+		end = h.ReplayOpen(inner.NewSource())
+	} else {
+		end = h.Replay(inner.Trace)
+	}
 	if r.sim.Cancelled() {
 		// Partial counters and partial telemetry would misrepresent the
 		// workload; drop both.
 		return Result{}, fmt.Errorf("diskthru: %s/%s replay cancelled: %w", w.Name(), cfg.System, ctx.Err())
 	}
 	res := collectResult(end, r, h.IssuedRequests)
-	res.Latency = summarizeLatencies(h.Latencies)
+	if stream != nil {
+		res.Latency = summarizeStream(stream)
+	} else {
+		res.Latency = summarizeLatencies(h.Latencies)
+	}
 	res.Redirects = h.Redirects()
 	for i, n := range h.Timeouts() {
 		res.Timeouts += n

@@ -42,6 +42,7 @@ var registry = []struct {
 	{"ext-victim", ExtVictim},
 	{"ext-latency", ExtLatency},
 	{"ext-degraded", ExtDegraded},
+	{"longrun", LongRun},
 	{"faults", Faults},
 	{"degraded", Degraded},
 }

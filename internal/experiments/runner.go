@@ -20,10 +20,11 @@ import (
 // and therefore the assembled tables — are byte-identical at any
 // parallelism.
 type runner struct {
-	par   int
-	ctx   context.Context // never nil; Background when Options.Ctx is unset
-	prog  *probe.Progress // nil-safe; reports cell plan + completions
-	cells []func() error
+	par    int
+	ctx    context.Context // never nil; Background when Options.Ctx is unset
+	prog   *probe.Progress // nil-safe; reports cell plan + completions
+	stream bool            // Options.StreamStats, threaded into every cell
+	cells  []func() error
 }
 
 func newRunner(o Options) *runner {
@@ -31,7 +32,7 @@ func newRunner(o Options) *runner {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &runner{par: o.parallelism(), ctx: ctx, prog: o.Progress}
+	return &runner{par: o.parallelism(), ctx: ctx, prog: o.Progress, stream: o.StreamStats}
 }
 
 // add appends one cell. Cells must not read other cells' slots and must
@@ -67,6 +68,7 @@ func (r *runner) run(wr *workloadRef, cfg diskthru.Config) *diskthru.Result {
 			return err
 		}
 		cfg.Progress = r.prog
+		cfg.StreamStats = cfg.StreamStats || r.stream
 		v, err := diskthru.RunContext(r.ctx, w, cfg)
 		if err != nil {
 			return err
@@ -91,6 +93,7 @@ func (r *runner) compare(wr *workloadRef, base diskthru.Config, systems []diskth
 			}
 			cfg := base.WithSystem(sys)
 			cfg.Progress = r.prog
+			cfg.StreamStats = cfg.StreamStats || r.stream
 			v, err := diskthru.RunContext(r.ctx, w, cfg)
 			if err != nil {
 				return fmt.Errorf("%v: %w", sys, err)

@@ -74,6 +74,11 @@ type Config struct {
 	// of being driven as fast as the streams allow, and per-record
 	// response times are collected in Latencies.
 	ArrivalRate float64
+	// OnLatency, when non-nil, receives each open-loop record's response
+	// time instead of appending it to Latencies — the constant-memory
+	// sink streaming runs use. Ignored by closed-loop replays, which
+	// never measure per-record response times.
+	OnLatency func(float64)
 	// RequestTimeout, when positive, arms a per-request watchdog: a
 	// sub-request not completed within this many virtual seconds marks
 	// its disk down and is redirected to the survivors through a spare
@@ -139,6 +144,11 @@ type Host struct {
 	cursor      int
 	active      int
 	openPending int
+	// openExhausted marks the open-loop arrival source spent: drained is
+	// openExhausted && openPending == 0. The trace-backed open loop sets
+	// it upfront (every arrival is scheduled before the run starts); the
+	// generator-backed loop sets it when its source runs dry.
+	openExhausted bool
 
 	// streams holds the closed-loop per-stream replay state. Each stream
 	// owns a reusable sub-request buffer and a pre-bound completion
@@ -301,10 +311,13 @@ func (h *Host) Replay(t *trace.Trace) sim.Time {
 // collects per-record response times. Concurrency is unbounded, as in
 // an open system; the makespan is the last completion.
 func (h *Host) replayOpenLoop() sim.Time {
-	h.Latencies = make([]float64, 0, len(h.records))
+	if h.cfg.OnLatency == nil {
+		h.Latencies = make([]float64, 0, len(h.records))
+	}
 	arrivals := dist.NewRand(h.cfg.Seed + 0x9e3779b9)
 	at := 0.0
 	h.openPending = len(h.records)
+	h.openExhausted = true // every arrival is scheduled upfront
 	for i := range h.records {
 		rec := h.records[i]
 		at += arrivals.ExpFloat64() / h.cfg.ArrivalRate
@@ -322,7 +335,7 @@ func (h *Host) replayOpenLoop() sim.Time {
 			done := func(now sim.Time) {
 				remaining--
 				if remaining == 0 {
-					h.Latencies = append(h.Latencies, now-arrival)
+					h.observeLatency(now - arrival)
 					h.stamp(now)
 					h.openRetire()
 				}
@@ -340,10 +353,84 @@ func (h *Host) replayOpenLoop() sim.Time {
 	return h.lastCompletion
 }
 
+// observeLatency routes one open-loop response time to the configured
+// sink: the streaming callback when set, the buffered slice otherwise.
+func (h *Host) observeLatency(v float64) {
+	if h.cfg.OnLatency != nil {
+		h.cfg.OnLatency(v)
+		return
+	}
+	h.Latencies = append(h.Latencies, v)
+}
+
+// ReplayOpen replays a generated arrival stream open-loop without ever
+// materializing it: next is called once per record, in arrival order,
+// and the chain schedules exactly one future arrival at a time, so both
+// the event queue and the host stay O(1) in the stream's length (the
+// constant-memory path BenchmarkLongRun pins down). Inter-arrival gaps
+// are Poisson at Config.ArrivalRate, drawn from the same seeded stream
+// the trace-backed open loop uses. Response times flow through
+// Config.OnLatency (or Latencies when unset — which reintroduces
+// O(records) growth, so streaming callers always set the callback).
+func (h *Host) ReplayOpen(next func() (trace.Record, bool)) sim.Time {
+	if h.cfg.ArrivalRate <= 0 {
+		panic("host: ReplayOpen requires an arrival rate")
+	}
+	h.records = nil
+	h.cursor = 0
+	h.active = 0
+	h.lastCompletion = 0
+	h.openPending = 0
+	h.openExhausted = false
+	arrivals := dist.NewRand(h.cfg.Seed + 0x9e3779b9)
+	var schedule func()
+	schedule = func() {
+		rec, ok := next()
+		if !ok {
+			h.openExhausted = true
+			if h.openPending == 0 {
+				// Everything already retired (or the stream was empty):
+				// finish now; no future arrival will trigger it.
+				h.onDrained()
+			}
+			return
+		}
+		h.sim.After(arrivals.ExpFloat64()/h.cfg.ArrivalRate, func(now sim.Time) {
+			h.openPending++
+			arrival := now
+			reqs := h.buildRequestsInto(h.openBuf[:0], rec)
+			h.openBuf = reqs[:0]
+			if len(reqs) == 0 {
+				h.openRetire()
+			} else {
+				remaining := len(reqs)
+				done := func(now sim.Time) {
+					remaining--
+					if remaining == 0 {
+						h.observeLatency(now - arrival)
+						h.stamp(now)
+						h.openRetire()
+					}
+				}
+				for _, r := range reqs {
+					h.submit(rec, r, done)
+				}
+			}
+			schedule() // chain the next arrival
+		})
+	}
+	schedule()
+	if h.cfg.SyncHDCEvery > 0 {
+		h.scheduleSync()
+	}
+	h.sim.Run()
+	return h.lastCompletion
+}
+
 // openRetire accounts one open-loop record's completion.
 func (h *Host) openRetire() {
 	h.openPending--
-	if h.openPending == 0 {
+	if h.openPending == 0 && h.openExhausted {
 		h.onDrained()
 	}
 }
@@ -354,7 +441,7 @@ func (h *Host) scheduleSync() {
 	h.sim.After(h.cfg.SyncHDCEvery, func(sim.Time) {
 		drained := h.active == 0 && h.cursor >= len(h.records)
 		if h.cfg.ArrivalRate > 0 {
-			drained = h.openPending == 0
+			drained = h.openExhausted && h.openPending == 0
 		}
 		if drained {
 			return

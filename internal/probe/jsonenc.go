@@ -1,0 +1,134 @@
+package probe
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+// Hand-rolled JSONL encoding of Record, byte-identical to
+// encoding/json's Encoder (struct field order, omitempty, HTML-escaped
+// strings, float formatting, trailing newline) but allocation-free:
+// every record appends into the caller's reused buffer. The spill path
+// runs once per traced request, so the run's trace file must not cost
+// a heap allocation per line; TestAppendRecordJSONMatchesStdlib pins
+// the byte-for-byte equivalence.
+
+// appendRecordJSON appends rec as one JSONL line.
+func appendRecordJSON(b []byte, rec *Record) []byte {
+	b = append(b, '{')
+	if rec.Run != "" {
+		b = append(b, `"run":`...)
+		b = appendJSONString(b, rec.Run)
+		b = append(b, ',')
+	}
+	b = append(b, `"id":`...)
+	b = strconv.AppendUint(b, rec.ID, 10)
+	b = append(b, `,"disk":`...)
+	b = strconv.AppendInt(b, int64(rec.Disk), 10)
+	b = append(b, `,"pba":`...)
+	b = strconv.AppendInt(b, rec.PBA, 10)
+	b = append(b, `,"blocks":`...)
+	b = strconv.AppendInt(b, int64(rec.Blocks), 10)
+	b = append(b, `,"write":`...)
+	b = strconv.AppendBool(b, rec.Write)
+	b = append(b, `,"arrive":`...)
+	b = appendJSONFloat(b, rec.Arrive)
+	b = append(b, `,"queued":`...)
+	b = appendJSONFloat(b, rec.Queued)
+	b = append(b, `,"dispatch":`...)
+	b = appendJSONFloat(b, rec.Dispatch)
+	b = append(b, `,"complete":`...)
+	b = appendJSONFloat(b, rec.Complete)
+	b = append(b, `,"seek":`...)
+	b = appendJSONFloat(b, rec.Seek)
+	b = append(b, `,"rot":`...)
+	b = appendJSONFloat(b, rec.Rot)
+	b = append(b, `,"transfer":`...)
+	b = appendJSONFloat(b, rec.Transfer)
+	b = append(b, `,"overhead":`...)
+	b = appendJSONFloat(b, rec.Overhead)
+	b = append(b, `,"outcome":`...)
+	b = appendJSONString(b, rec.Outcome)
+	if rec.Retries != 0 {
+		b = append(b, `,"retries":`...)
+		b = strconv.AppendInt(b, int64(rec.Retries), 10)
+	}
+	b = append(b, `,"ra_span":`...)
+	b = strconv.AppendInt(b, int64(rec.RASpan), 10)
+	b = append(b, `,"ra_useless":`...)
+	b = strconv.AppendBool(b, rec.RAUseless)
+	return append(b, '}', '\n')
+}
+
+// appendJSONFloat matches encoding/json's float64 encoding: %f in the
+// human range, %e outside it, with the exponent's leading zero
+// stripped.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString matches encoding/json's default (HTML-escaping)
+// string encoder: control characters, quotes, backslashes, the HTML
+// trio <>&, invalid UTF-8, and U+2028/U+2029 are escaped exactly the
+// way the stdlib escapes them.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}

@@ -142,27 +142,24 @@ func (f *fakeDisk) Sample() DiskSample {
 
 func TestSamplerCollectsIntervals(t *testing.T) {
 	sm := sim.New()
+	var buf bytes.Buffer
 	s := NewSampler("r1", 0.1, []DiskProbe{&fakeDisk{}, &fakeDisk{}}, SamplerSources{
 		BusUtil:   func() float64 { return 0.5 },
 		Issued:    func() uint64 { return 7 },
 		Active:    func() int { return 2 },
 		HostCache: func() bufcache.Counters { return bufcache.Counters{Hits: 9, Misses: 4} },
-	})
+	}, NewSink(&buf, MetricsHeaderLine()))
 	s.Start(sm)
 	// Keep the sim alive for ~3 intervals with dummy events.
 	for _, at := range []float64{0.05, 0.15, 0.25} {
 		sm.At(at, func(sim.Time) {})
 	}
 	sm.Run()
-	// Ticks at 0.1, 0.2 see pending events and reschedule; the tick at
-	// 0.3 finds the queue empty and stops. 3 intervals x 2 disks.
-	if got := len(s.Rows()); got != 6 {
-		t.Fatalf("got %d rows, want 6", got)
-	}
-	var buf bytes.Buffer
-	if err := s.WriteCSV(&buf, true); err != nil {
+	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
+	// Ticks at 0.1, 0.2 see pending events and reschedule; the tick at
+	// 0.3 finds the queue empty and stops. 3 intervals x 2 disks.
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	if len(lines) != 7 {
 		t.Fatalf("got %d CSV lines, want header+6", len(lines))
@@ -178,7 +175,8 @@ func TestSamplerCollectsIntervals(t *testing.T) {
 
 func TestSamplerStopsWhenSimDrains(t *testing.T) {
 	sm := sim.New()
-	s := NewSampler("r", 0.1, nil, SamplerSources{})
+	var buf bytes.Buffer
+	s := NewSampler("r", 0.1, nil, SamplerSources{}, NewSink(&buf, ""))
 	s.Start(sm)
 	end := sm.Run()
 	if end != 0.1 {
@@ -186,6 +184,27 @@ func TestSamplerStopsWhenSimDrains(t *testing.T) {
 	}
 	if sm.Pending() != 0 {
 		t.Fatal("sampler kept the simulation alive")
+	}
+}
+
+// A sampler without a sink must cost nothing: no tick is scheduled, no
+// row is formatted, no memory accumulates (the retention bug this PR
+// fixes — rows used to pile up even with no metrics writer).
+func TestSamplerNilSinkIsInert(t *testing.T) {
+	sm := sim.New()
+	s := NewSampler("r", 0.1, []DiskProbe{&fakeDisk{}}, SamplerSources{}, nil)
+	s.Start(sm)
+	if sm.Pending() != 0 {
+		t.Fatal("nil-sink sampler scheduled a tick")
+	}
+	if end := sm.Run(); end != 0 {
+		t.Fatalf("nil-sink sampler produced events until %v", end)
+	}
+	if len(s.buf) != 0 {
+		t.Fatalf("nil-sink sampler formatted %d bytes of rows", len(s.buf))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -47,12 +47,33 @@ type Record struct {
 	raUsed bool
 }
 
-// Recorder is the recording Tracer: it buffers one Record per request
-// and finalizes the useless-read-ahead flags when flushed (usefulness is
-// only known once the whole run has been observed).
+// spillBatchRecords is the spill threshold: once this many records are
+// retained, the finalized prefix streams to the sink. It bounds the
+// recorder's working set by tracing concurrency plus the batch size —
+// not by the run's makespan.
+const spillBatchRecords = 1024
+
+// Recorder is the recording Tracer. With a sink it spills: whenever the
+// retained buffer reaches the spill threshold, every leading record
+// whose fields can no longer change — completed, and not waiting on a
+// read-ahead-usefulness verdict — is encoded into a reused buffer and
+// written through the sink, in ID order, so the file output is
+// byte-identical to buffering the whole run and memory stays
+// independent of makespan. The one retention caveat: a completed
+// request whose read-ahead span is never used blocks the prefix behind
+// it until the run ends, because its ra_useless flag is only provable
+// then. Without a sink it buffers every record until Records or
+// WriteJSONL, the original accumulate-then-flush behavior direct users
+// rely on.
 type Recorder struct {
 	run  string
 	recs []Record
+	// base counts records already spilled; IDs 1..base are gone and
+	// late (no-op) callbacks for them are ignored.
+	base uint64
+
+	sink   *Sink
+	encBuf []byte
 }
 
 // NewRecorder returns an empty recorder labeling its records with run.
@@ -60,22 +81,31 @@ func NewRecorder(run string) *Recorder {
 	return &Recorder{run: run}
 }
 
+// NewSpillRecorder returns a recorder that streams finalized records
+// through sink as the run progresses. Call Close after the run to
+// flush the tail and collect write errors.
+func NewSpillRecorder(run string, sink *Sink) *Recorder {
+	return &Recorder{run: run, sink: sink}
+}
+
 // Begin implements Tracer.
 func (r *Recorder) Begin(disk int, pba int64, blocks int, write bool, now float64) RequestID {
 	r.recs = append(r.recs, Record{
-		Run: r.run, ID: uint64(len(r.recs) + 1),
+		Run: r.run, ID: r.base + uint64(len(r.recs)) + 1,
 		Disk: disk, PBA: pba, Blocks: blocks, Write: write,
 		Arrive: now, Queued: -1, Dispatch: -1, Complete: -1,
 	})
-	return RequestID(len(r.recs))
+	return RequestID(r.base + uint64(len(r.recs)))
 }
 
-// rec resolves an id to its record; id 0 (untraced) returns nil.
+// rec resolves an id to its record; id 0 (untraced) and ids already
+// spilled return nil. A spilled record was final when it left — only
+// idempotent callbacks (a redundant ReadAheadUsed) can still name it.
 func (r *Recorder) rec(id RequestID) *Record {
-	if id == 0 || int(id) > len(r.recs) {
+	if uint64(id) <= r.base || uint64(id) > r.base+uint64(len(r.recs)) {
 		return nil
 	}
-	return &r.recs[id-1]
+	return &r.recs[uint64(id)-r.base-1]
 }
 
 // Queued implements Tracer.
@@ -121,18 +151,77 @@ func (r *Recorder) Retry(id RequestID, now float64) {
 	}
 }
 
-// Complete implements Tracer.
+// Complete implements Tracer. Completion is the last per-request event,
+// so it is also the spill trigger.
 func (r *Recorder) Complete(id RequestID, now float64) {
 	if rec := r.rec(id); rec != nil {
 		rec.Complete = now
+		if r.sink != nil && len(r.recs) >= spillBatchRecords {
+			r.spillPrefix()
+		}
 	}
 }
 
+// final reports whether a record's exported fields can still change: a
+// completed record is final unless its read-ahead span is still
+// waiting to prove itself useful.
+func (rec *Record) final() bool {
+	return rec.Complete >= 0 && (rec.RASpan == 0 || rec.raUsed)
+}
+
+// spillPrefix streams the longest final prefix to the sink and
+// compacts the retained tail to the front of the buffer, reusing its
+// capacity.
+func (r *Recorder) spillPrefix() {
+	n := 0
+	for n < len(r.recs) && r.recs[n].final() {
+		n++
+	}
+	if n > 0 {
+		r.flush(n)
+	}
+}
+
+// flush finalizes and writes the first n retained records as one
+// batch, then compacts.
+func (r *Recorder) flush(n int) {
+	buf := r.encBuf[:0]
+	for i := 0; i < n; i++ {
+		rec := &r.recs[i]
+		rec.RAUseless = rec.RASpan > 0 && !rec.raUsed
+		buf = appendRecordJSON(buf, rec)
+	}
+	r.sink.Write(buf)
+	r.encBuf = buf[:0]
+	r.base += uint64(n)
+	m := copy(r.recs, r.recs[n:])
+	r.recs = r.recs[:m]
+}
+
+// Close flushes the retained tail through the sink — including the
+// records whose useless-read-ahead verdict only the end of the run
+// could settle — and reports the sink's first write error. Only
+// meaningful for spill recorders; a buffered recorder reports nil and
+// keeps its records.
+func (r *Recorder) Close() error {
+	if r.sink == nil {
+		return nil
+	}
+	if len(r.recs) > 0 {
+		r.flush(len(r.recs))
+	}
+	if err := r.sink.Err(); err != nil {
+		return fmt.Errorf("probe: trace write: %w", err)
+	}
+	return nil
+}
+
 // Len reports how many requests have been traced.
-func (r *Recorder) Len() int { return len(r.recs) }
+func (r *Recorder) Len() int { return int(r.base) + len(r.recs) }
 
 // Records finalizes and returns the buffered records: a read-ahead span
-// is useless if none of its blocks ever served a controller hit.
+// is useless if none of its blocks ever served a controller hit. For a
+// spill recorder this covers only the retained tail.
 func (r *Recorder) Records() []Record {
 	for i := range r.recs {
 		rec := &r.recs[i]

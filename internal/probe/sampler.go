@@ -1,9 +1,10 @@
 package probe
 
 import (
-	"encoding/csv"
-	"io"
 	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
 
 	"diskthru/internal/bufcache"
 	"diskthru/internal/sim"
@@ -67,10 +68,21 @@ var metricsHeader = []string{
 	"retries", "remaps", "timeouts",
 }
 
+// MetricsHeaderLine is the schema row as the sink emits it, shared by
+// every sampler writing into one metrics file.
+func MetricsHeaderLine() string { return strings.Join(metricsHeader, ",") + "\n" }
+
+// samplerSpillBytes bounds the encoded rows a sampler retains before
+// streaming them to its sink: memory is a function of the batch size
+// and the disk count, never of the makespan.
+const samplerSpillBytes = 32 << 10
+
 // Sampler periodically snapshots every probe while the simulation runs
-// and buffers one CSV row per (interval, disk). It keeps itself alive
-// only while other events are pending, so it never prevents the
-// simulation from draining.
+// and streams one CSV row per (interval, disk) to its sink in bounded
+// batches. It keeps itself alive only while other events are pending,
+// so it never prevents the simulation from draining. With a nil sink
+// the sampler is inert: no tick is scheduled and no row is ever
+// formatted — sampling without a destination is pure waste.
 type Sampler struct {
 	run      string
 	interval float64
@@ -79,19 +91,27 @@ type Sampler struct {
 
 	sm   *sim.Simulator
 	prev []DiskSample
-	rows [][]string
+	sink *Sink
+	// runField is the run label pre-encoded as a CSV field; buf is the
+	// reused batch buffer.
+	runField string
+	buf      []byte
 }
 
-// NewSampler returns a sampler for the given drives. interval is the
-// virtual-time sampling period in seconds.
-func NewSampler(run string, interval float64, disks []DiskProbe, src SamplerSources) *Sampler {
+// NewSampler returns a sampler for the given drives writing through
+// sink (nil disables sampling entirely). interval is the virtual-time
+// sampling period in seconds.
+func NewSampler(run string, interval float64, disks []DiskProbe, src SamplerSources, sink *Sink) *Sampler {
 	return &Sampler{run: run, interval: interval, disks: disks, src: src,
-		prev: make([]DiskSample, len(disks))}
+		sink: sink, runField: csvField(run), prev: make([]DiskSample, len(disks))}
 }
 
-// Start arms the periodic sampling event on the simulator. Must be
-// called before the run's events are processed.
+// Start arms the periodic sampling event on the simulator; a no-op
+// without a sink. Must be called before the run's events are processed.
 func (s *Sampler) Start(sm *sim.Simulator) {
+	if s.sink == nil {
+		return
+	}
 	s.sm = sm
 	var tick sim.Event
 	tick = func(now sim.Time) {
@@ -105,88 +125,156 @@ func (s *Sampler) Start(sm *sim.Simulator) {
 	sm.After(s.interval, tick)
 }
 
-// Rows returns the buffered CSV rows (no header).
-func (s *Sampler) Rows() [][]string { return s.rows }
-
-// WriteCSV writes the buffered rows; header controls whether the schema
-// row is emitted first (a shared file wants it only once).
-func (s *Sampler) WriteCSV(w io.Writer, header bool) error {
-	cw := csv.NewWriter(w)
-	if header {
-		if err := cw.Write(metricsHeader); err != nil {
-			return err
-		}
+// Close flushes the buffered tail and reports the sink's first write
+// error.
+func (s *Sampler) Close() error {
+	if s.sink == nil {
+		return nil
 	}
-	for _, row := range s.rows {
-		if err := cw.Write(row); err != nil {
-			return err
-		}
+	if len(s.buf) > 0 {
+		s.sink.Write(s.buf)
+		s.buf = s.buf[:0]
 	}
-	cw.Flush()
-	return cw.Error()
+	return s.sink.Err()
 }
 
+// sample appends this interval's rows — one per disk — to the batch
+// buffer, spilling it once it passes the byte threshold. Formatting is
+// pure appends into reused storage; the hot loop allocates nothing.
 func (s *Sampler) sample(now float64) {
-	ftime := strconv.FormatFloat(now, 'f', 6, 64)
-	events := strconv.FormatUint(s.sm.Processed(), 10)
-	pending := strconv.Itoa(s.sm.Pending())
-	busUtil, issued, active := "", "", ""
-	if s.src.BusUtil != nil {
-		busUtil = fnum(s.src.BusUtil())
-	}
-	if s.src.Issued != nil {
-		issued = strconv.FormatUint(s.src.Issued(), 10)
-	}
-	if s.src.Active != nil {
-		active = strconv.Itoa(s.src.Active())
-	}
-	hostHits, hostMisses := "", ""
-	if s.src.HostCache != nil {
-		c := s.src.HostCache()
-		hostHits = strconv.FormatUint(c.Hits, 10)
-		hostMisses = strconv.FormatUint(c.Misses, 10)
-	}
+	b := s.buf
 	for i, d := range s.disks {
 		cur := d.Sample()
 		prev := s.prev[i]
 		s.prev[i] = cur
 
-		timeouts := ""
-		if s.src.DiskTimeouts != nil {
-			timeouts = strconv.FormatUint(s.src.DiskTimeouts(i), 10)
-		}
-
-		util := (cur.Busy - prev.Busy) / s.interval
+		b = append(b, s.runField...)
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, now, 'f', 6, 64)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(i), 10)
+		b = append(b, ',')
+		b = appendG6(b, (cur.Busy-prev.Busy)/s.interval) // util
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(cur.Queue), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(cur.StoreLen), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(cur.StoreCap), 10)
+		b = append(b, ',')
 		occupancy := 0.0
 		if cur.StoreCap > 0 {
 			occupancy = float64(cur.StoreLen) / float64(cur.StoreCap)
 		}
+		b = appendG6(b, occupancy)
+		b = append(b, ',')
+		b = strconv.AppendUint(b, cur.StoreEvictions, 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(cur.Pinned), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(cur.PinnedCap), 10)
+		b = append(b, ',')
 		pinnedFrac := 0.0
 		if cur.PinnedCap > 0 {
 			pinnedFrac = float64(cur.Pinned) / float64(cur.PinnedCap)
 		}
+		b = appendG6(b, pinnedFrac)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(cur.PinnedDirty), 10)
+		b = append(b, ',')
 		mediaDelta := cur.MediaBlocks - prev.MediaBlocks
 		reqDelta := cur.RequestedBlocks - prev.RequestedBlocks
-		raEff := ""
+		b = strconv.AppendUint(b, mediaDelta, 10)
+		b = append(b, ',')
+		b = strconv.AppendUint(b, reqDelta, 10)
+		b = append(b, ',')
 		if mediaDelta > 0 {
 			// Requested blocks per media block moved: 1.0 means no
 			// read-ahead waste, <1 means speculative transfer, >1 means
 			// cache hits served traffic without media work.
-			raEff = fnum(float64(reqDelta) / float64(mediaDelta))
+			b = appendG6(b, float64(reqDelta)/float64(mediaDelta))
 		}
-		s.rows = append(s.rows, []string{
-			s.run, ftime, strconv.Itoa(i),
-			fnum(util), strconv.Itoa(cur.Queue),
-			strconv.Itoa(cur.StoreLen), strconv.Itoa(cur.StoreCap), fnum(occupancy),
-			strconv.FormatUint(cur.StoreEvictions, 10),
-			strconv.Itoa(cur.Pinned), strconv.Itoa(cur.PinnedCap), fnum(pinnedFrac),
-			strconv.Itoa(cur.PinnedDirty),
-			strconv.FormatUint(mediaDelta, 10), strconv.FormatUint(reqDelta, 10), raEff,
-			events, pending, busUtil,
-			issued, active, hostHits, hostMisses,
-			strconv.FormatUint(cur.Retries, 10), strconv.FormatUint(cur.Remaps, 10), timeouts,
-		})
+		b = append(b, ',')
+		b = strconv.AppendUint(b, s.sm.Processed(), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(s.sm.Pending()), 10)
+		b = append(b, ',')
+		if s.src.BusUtil != nil {
+			b = appendG6(b, s.src.BusUtil())
+		}
+		b = append(b, ',')
+		if s.src.Issued != nil {
+			b = strconv.AppendUint(b, s.src.Issued(), 10)
+		}
+		b = append(b, ',')
+		if s.src.Active != nil {
+			b = strconv.AppendInt(b, int64(s.src.Active()), 10)
+		}
+		b = append(b, ',')
+		if s.src.HostCache != nil {
+			c := s.src.HostCache()
+			b = strconv.AppendUint(b, c.Hits, 10)
+			b = append(b, ',')
+			b = strconv.AppendUint(b, c.Misses, 10)
+		} else {
+			b = append(b, ',')
+		}
+		b = append(b, ',')
+		b = strconv.AppendUint(b, cur.Retries, 10)
+		b = append(b, ',')
+		b = strconv.AppendUint(b, cur.Remaps, 10)
+		b = append(b, ',')
+		if s.src.DiskTimeouts != nil {
+			b = strconv.AppendUint(b, s.src.DiskTimeouts(i), 10)
+		}
+		b = append(b, '\n')
 	}
+	if len(b) >= samplerSpillBytes {
+		s.sink.Write(b)
+		b = b[:0]
+	}
+	s.buf = b
 }
 
-func fnum(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+// appendG6 appends a float the way the buffered sampler always
+// formatted them: %.6g.
+func appendG6(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', 6, 64)
+}
+
+// csvField encodes one value under encoding/csv's quoting rules
+// (UseCRLF off), so the streamed rows stay byte-identical to rows
+// written through the stdlib writer. Only the run label ever needs
+// this — every other field is plain numeric.
+func csvField(f string) string {
+	if !csvFieldNeedsQuotes(f) {
+		return f
+	}
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(f); i++ {
+		if f[i] == '"' {
+			sb.WriteString(`""`)
+			continue
+		}
+		sb.WriteByte(f[i])
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// csvFieldNeedsQuotes mirrors encoding/csv's fieldNeedsQuotes for the
+// default comma.
+func csvFieldNeedsQuotes(f string) bool {
+	if f == "" {
+		return false
+	}
+	if f == `\.` {
+		return true
+	}
+	if strings.ContainsAny(f, "\"\r\n,") {
+		return true
+	}
+	r, _ := utf8.DecodeRuneInString(f)
+	return unicode.IsSpace(r)
+}

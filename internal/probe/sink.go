@@ -1,0 +1,68 @@
+package probe
+
+import (
+	"io"
+	"sync"
+)
+
+// Sink is a shared, mutex-guarded telemetry destination that accepts
+// whole batches of pre-encoded lines. Recorders and samplers spill
+// through sinks as their runs progress — the constant-memory
+// alternative to accumulate-then-flush — so a sink may receive batches
+// from several concurrent runs; each batch is written atomically, so
+// lines never tear, and each run's lines arrive in that run's order.
+// The first write error sticks: later batches are dropped and the
+// error surfaces when the run's scope finishes.
+type Sink struct {
+	mu sync.Mutex
+	w  io.Writer
+	// header, when non-empty, is written once before the first batch —
+	// the CSV schema line of a metrics file shared by many runs.
+	header      string
+	wroteHeader bool
+	err         error
+}
+
+// NewSink wraps a writer; header (may be empty) is emitted before the
+// first batch. A nil writer yields a nil sink, which every method
+// tolerates.
+func NewSink(w io.Writer, header string) *Sink {
+	if w == nil {
+		return nil
+	}
+	return &Sink{w: w, header: header}
+}
+
+// Write appends one batch. Errors are sticky and reported by Err.
+func (s *Sink) Write(batch []byte) {
+	if s == nil || len(batch) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if !s.wroteHeader {
+		s.wroteHeader = true
+		if s.header != "" {
+			if _, err := io.WriteString(s.w, s.header); err != nil {
+				s.err = err
+				return
+			}
+		}
+	}
+	if _, err := s.w.Write(batch); err != nil {
+		s.err = err
+	}
+}
+
+// Err reports the first write error, if any.
+func (s *Sink) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -1,0 +1,259 @@
+package probe
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"diskthru/internal/sim"
+)
+
+// TestAppendRecordJSONMatchesStdlib pins the spill encoder to
+// encoding/json: for records covering every formatting edge the two
+// must produce identical bytes, or spilled traces silently diverge
+// from buffered ones.
+func TestAppendRecordJSONMatchesStdlib(t *testing.T) {
+	recs := []Record{
+		{}, // zero value: omitempty run/retries, -0-free floats
+		{Run: "r001-base", ID: 1, Disk: 3, PBA: 123456789, Blocks: 64,
+			Write: true, Arrive: 1.0, Queued: 1.5, Dispatch: 2.0,
+			Complete: 2.5, Seek: 0.003, Rot: 0.002, Transfer: 0.001,
+			Overhead: 0.0003, Outcome: OutcomeMediaWrite, RASpan: 28},
+		// Stage-skipped stamps are -1; sub-1e-6 floats switch to %e.
+		{Run: "tiny", ID: 2, Queued: -1, Dispatch: -1, Complete: -1,
+			Seek: 3.2e-7, Rot: 1e-21, Transfer: 9.999999e-7,
+			Outcome: OutcomeCacheHit},
+		// Huge floats switch to %e the other way.
+		{ID: 3, Arrive: 1e21, Complete: 2.5e22, Outcome: OutcomeMediaRead},
+		{ID: 4, Retries: 3, Outcome: OutcomeMediaRead, RAUseless: true, RASpan: 8},
+		// Run labels with every string-escape class the stdlib handles:
+		// quotes, backslashes, controls, the HTML trio, multibyte runes,
+		// U+2028/U+2029, and invalid UTF-8.
+		{Run: `quo"te\back`, ID: 5, Outcome: "o"},
+		{Run: "tab\tnl\nret\rbell\x07", ID: 6, Outcome: "o"},
+		{Run: "<b>&amp;</b>", ID: 7, Outcome: "o"},
+		{Run: "caf\u00e9 \u65e5\u672c \u2028x\u2029", ID: 8, Outcome: "o"},
+		{Run: "bad\xffutf8\xc3(", ID: 9, Outcome: "o"},
+	}
+	for _, rec := range recs {
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(rec); err != nil {
+			t.Fatal(err)
+		}
+		got := appendRecordJSON(nil, &rec)
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Errorf("record %d:\n got  %q\n want %q", rec.ID, got, want.Bytes())
+		}
+	}
+}
+
+// TestCSVFieldMatchesStdlib pins csvField to encoding/csv's quoting
+// decisions for the labels a run might carry.
+func TestCSVFieldMatchesStdlib(t *testing.T) {
+	labels := []string{
+		"", "plain", "r001-seek-sweep", "with,comma", `with"quote`,
+		"line\nbreak", "carriage\rreturn", " leading-space",
+		"\tleading-tab", "trailing-space ", `\.`, "\u00a0nbsp",
+	}
+	for _, label := range labels {
+		var want bytes.Buffer
+		w := csv.NewWriter(&want)
+		if err := w.Write([]string{label, "0.5"}); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		got := csvField(label) + ",0.5\n"
+		if got != want.String() {
+			t.Errorf("label %q: got %q, want %q", label, got, want.String())
+		}
+	}
+}
+
+// driveRandomRun pushes n request lifecycles through tr with a seeded
+// mix of outcomes, retries, and read-ahead fates (including spans that
+// are used late and spans that are never used — the case that blocks
+// the spill prefix).
+func driveRandomRun(tr Tracer, rng *rand.Rand, n int) {
+	var raPending []RequestID
+	for i := 0; i < n; i++ {
+		now := float64(i) * 0.001
+		id := tr.Begin(rng.Intn(4), rng.Int63n(1<<30), 1+rng.Intn(64), rng.Intn(5) == 0, now)
+		switch rng.Intn(4) {
+		case 0:
+			tr.Outcome(id, OutcomeCacheHit)
+		default:
+			tr.Queued(id, now+0.0001)
+			tr.Dispatch(id, now+0.0002)
+			span := 0
+			if rng.Intn(3) == 0 {
+				span = 8 + rng.Intn(32)
+			}
+			tr.Media(id, rng.Float64()*0.01, rng.Float64()*0.005, 1e-7*float64(1+rng.Intn(10)), 0.0003, span)
+			if rng.Intn(6) == 0 {
+				tr.Retry(id, now+0.0003)
+			}
+			tr.Outcome(id, OutcomeMediaRead)
+			if span > 0 {
+				raPending = append(raPending, id)
+			}
+		}
+		tr.Complete(id, now+0.0005+rng.Float64()*0.001)
+		// Occasionally resolve an old read-ahead span as used — possibly
+		// long after the record spilled, which must be a safe no-op.
+		if len(raPending) > 0 && rng.Intn(3) == 0 {
+			j := rng.Intn(len(raPending))
+			tr.ReadAheadUsed(raPending[j])
+			raPending = append(raPending[:j], raPending[j+1:]...)
+		}
+	}
+}
+
+// TestSpillRecorderMatchesBuffered is the tentpole's byte-identity
+// guarantee: a spill recorder's streamed file must equal the buffered
+// recorder's WriteJSONL for the same event sequence, well past the
+// spill threshold.
+func TestSpillRecorderMatchesBuffered(t *testing.T) {
+	const n = 3 * spillBatchRecords
+	buffered := NewRecorder("eq")
+	driveRandomRun(buffered, rand.New(rand.NewSource(42)), n)
+	var want bytes.Buffer
+	if err := buffered.WriteJSONL(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	spill := NewSpillRecorder("eq", NewSink(&got, ""))
+	driveRandomRun(spill, rand.New(rand.NewSource(42)), n)
+	if err := spill.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		gl := strings.Split(got.String(), "\n")
+		wl := strings.Split(want.String(), "\n")
+		if len(gl) != len(wl) {
+			t.Fatalf("line counts differ: got %d, want %d", len(gl), len(wl))
+		}
+		for i := range gl {
+			if gl[i] != wl[i] {
+				t.Fatalf("line %d:\n got  %s\n want %s", i, gl[i], wl[i])
+			}
+		}
+		t.Fatal("outputs differ")
+	}
+	if spill.Len() != n || buffered.Len() != n {
+		t.Fatalf("Len: spill %d, buffered %d, want %d", spill.Len(), buffered.Len(), n)
+	}
+}
+
+// TestSpillRecorderBoundsRetention checks the point of spilling: after
+// many completed requests the retained tail stays small.
+func TestSpillRecorderBoundsRetention(t *testing.T) {
+	r := NewSpillRecorder("bound", NewSink(io.Discard, ""))
+	const n = 20 * spillBatchRecords
+	for i := 0; i < n; i++ {
+		id := r.Begin(0, int64(i), 8, false, float64(i))
+		r.Outcome(id, OutcomeCacheHit)
+		r.Complete(id, float64(i)+0.001)
+	}
+	if r.Len() != n {
+		t.Fatalf("Len = %d, want %d", r.Len(), n)
+	}
+	if retained := len(r.Records()); retained >= spillBatchRecords {
+		t.Fatalf("retained %d records, want < %d", retained, spillBatchRecords)
+	}
+}
+
+// TestSpillRecorderNeverUsedRABlocksUntilClose: a completed request
+// whose read-ahead span is never used can only be finalized at the end
+// of the run, so nothing behind it may spill early — and Close must
+// still emit everything with ra_useless settled.
+func TestSpillRecorderNeverUsedRABlocksUntilClose(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewSpillRecorder("ra", NewSink(&buf, ""))
+	// First record: completed, with a span that is never used.
+	id := r.Begin(0, 0, 8, false, 0)
+	r.Media(id, 0, 0, 0, 0, 16)
+	r.Outcome(id, OutcomeMediaRead)
+	r.Complete(id, 0.001)
+	for i := 0; i < 2*spillBatchRecords; i++ {
+		id := r.Begin(0, int64(i), 8, false, float64(i))
+		r.Outcome(id, OutcomeCacheHit)
+		r.Complete(id, float64(i)+0.001)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("spilled %d bytes past an unresolved read-ahead record", buf.Len())
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.Bytes()[:bytes.IndexByte(buf.Bytes(), '\n')]
+	if !bytes.Contains(first, []byte(`"ra_useless":true`)) {
+		t.Fatalf("first line lost its useless verdict: %s", first)
+	}
+	if lines := bytes.Count(buf.Bytes(), []byte{'\n'}); lines != 2*spillBatchRecords+1 {
+		t.Fatalf("got %d lines, want %d", lines, 2*spillBatchRecords+1)
+	}
+}
+
+// TestRecorderSpillAllocFree is the satellite allocation guard for the
+// trace spill path: once the buffers are warm, a full
+// Begin/Outcome/Complete lifecycle — including batch encoding and the
+// sink write — costs zero heap allocations.
+func TestRecorderSpillAllocFree(t *testing.T) {
+	r := NewSpillRecorder("r001-longrun", NewSink(io.Discard, ""))
+	lifecycle := func(i int) {
+		id := r.Begin(1, int64(i), 8, false, float64(i))
+		r.Queued(id, float64(i)+0.0001)
+		r.Dispatch(id, float64(i)+0.0002)
+		r.Media(id, 0.003, 0.002, 0.001, 0.0003, 0)
+		r.Outcome(id, OutcomeMediaRead)
+		r.Complete(id, float64(i)+0.001)
+	}
+	// Warm past 100k records so the ID's digit count — and with it the
+	// encoded batch size — stays constant through the measurement.
+	for i := 0; r.Len() < 110_000; i++ {
+		lifecycle(i)
+	}
+	burst := func() {
+		for i := 0; i < 2*spillBatchRecords; i++ {
+			lifecycle(i)
+		}
+	}
+	if avg := testing.AllocsPerRun(10, burst); avg > 0 {
+		t.Fatalf("spill path allocates %.1f times per burst, want 0", avg)
+	}
+}
+
+// steadyDisk returns constant counters so encoded row widths never
+// change during the sampler's allocation measurement.
+type steadyDisk struct{}
+
+func (steadyDisk) Sample() DiskSample {
+	return DiskSample{Busy: 100, Queue: 3, StoreLen: 50, StoreCap: 100,
+		Pinned: 10, PinnedCap: 40, PinnedDirty: 2,
+		MediaBlocks: 500000, RequestedBlocks: 400000}
+}
+
+// TestSamplerSpillAllocFree: a warm sampler tick formats and spills
+// rows without allocating.
+func TestSamplerSpillAllocFree(t *testing.T) {
+	sm := sim.New()
+	s := NewSampler("r001-longrun", 0.1, []DiskProbe{steadyDisk{}, steadyDisk{}},
+		SamplerSources{BusUtil: func() float64 { return 0.5 }},
+		NewSink(io.Discard, MetricsHeaderLine()))
+	s.Start(sm)
+	burst := func() {
+		for i := 0; i < 2000; i++ {
+			s.sample(1000.5)
+		}
+	}
+	burst() // warm the batch buffer to its steady-state capacity
+	if avg := testing.AllocsPerRun(10, burst); avg > 0 {
+		t.Fatalf("sampler spill path allocates %.1f times per burst, want 0", avg)
+	}
+}

@@ -8,22 +8,23 @@ import (
 	"diskthru/internal/sim"
 )
 
-// Telemetry coordinates export across the runs of a process: it owns the
-// trace and metrics destinations, hands each simulation run a RunScope,
-// and serializes the per-run buffers into the shared writers. Either
-// writer may be nil to disable that export. Runs may execute
-// concurrently: each RunScope buffers its own events, and the shared
-// run counter and writers are mutex-guarded, so a scope only ever
-// carries its own run's records. With concurrent runs the r### sequence
-// numbers reflect start order, which is no longer the registry order.
+// Telemetry coordinates export across the runs of a process: it owns
+// the shared trace and metrics sinks, hands each simulation run a
+// RunScope, and lets the run's recorder and sampler spill finalized
+// batches into them as the run progresses — memory stays bounded by
+// the spill batch size, not the run's makespan. Either writer may be
+// nil to disable that export. Runs may execute concurrently: batches
+// are written atomically and each run's lines arrive in that run's
+// order, so a trace groups cleanly by run label even when runs
+// interleave. The r### sequence numbers reflect start order, which
+// with concurrent runs is no longer the registry order.
 type Telemetry struct {
-	traceW   io.Writer
-	metricsW io.Writer
+	trace    *Sink
+	metrics  *Sink
 	interval float64
 
-	mu          sync.Mutex
-	runSeq      int
-	wroteHeader bool
+	mu     sync.Mutex
+	runSeq int
 }
 
 // DefaultSampleInterval is the metrics sampling period (virtual seconds)
@@ -37,7 +38,11 @@ func NewTelemetry(traceW, metricsW io.Writer, sampleInterval float64) *Telemetry
 	if sampleInterval <= 0 {
 		sampleInterval = DefaultSampleInterval
 	}
-	return &Telemetry{traceW: traceW, metricsW: metricsW, interval: sampleInterval}
+	return &Telemetry{
+		trace:    NewSink(traceW, ""),
+		metrics:  NewSink(metricsW, MetricsHeaderLine()),
+		interval: sampleInterval,
+	}
 }
 
 // RunScope is one simulation run's view of the telemetry layer. A nil
@@ -61,8 +66,8 @@ func (t *Telemetry) StartRun(label string) *RunScope {
 	seq := t.runSeq
 	t.mu.Unlock()
 	rs := &RunScope{tel: t, run: fmt.Sprintf("r%03d-%s", seq, label)}
-	if t.traceW != nil {
-		rs.rec = NewRecorder(rs.run)
+	if t.trace != nil {
+		rs.rec = NewSpillRecorder(rs.run, t.trace)
 	}
 	return rs
 }
@@ -80,31 +85,27 @@ func (rs *RunScope) Tracer() Tracer {
 // metrics export is off. Call after the rig is built and before the
 // replay starts.
 func (rs *RunScope) StartSampler(sm *sim.Simulator, disks []DiskProbe, src SamplerSources) {
-	if rs == nil || rs.tel.metricsW == nil {
+	if rs == nil || rs.tel.metrics == nil {
 		return
 	}
-	rs.samp = NewSampler(rs.run, rs.tel.interval, disks, src)
+	rs.samp = NewSampler(rs.run, rs.tel.interval, disks, src, rs.tel.metrics)
 	rs.samp.Start(sm)
 }
 
-// Finish flushes the run's buffered trace records and metrics rows to
-// the coordinator's writers. The flush holds the coordinator lock so
-// concurrent runs never interleave records within the shared streams.
+// Finish flushes the run's retained tails — the records whose
+// useless-read-ahead verdict needed the whole run, and the last partial
+// metrics batch — and surfaces the sinks' first write error.
 func (rs *RunScope) Finish() error {
 	if rs == nil {
 		return nil
 	}
-	rs.tel.mu.Lock()
-	defer rs.tel.mu.Unlock()
 	if rs.rec != nil {
-		if err := rs.rec.WriteJSONL(rs.tel.traceW); err != nil {
+		if err := rs.rec.Close(); err != nil {
 			return err
 		}
 	}
 	if rs.samp != nil {
-		header := !rs.tel.wroteHeader
-		rs.tel.wroteHeader = true
-		if err := rs.samp.WriteCSV(rs.tel.metricsW, header); err != nil {
+		if err := rs.samp.Close(); err != nil {
 			return fmt.Errorf("probe: metrics write: %w", err)
 		}
 	}

@@ -508,3 +508,31 @@ func TestResultFormats(t *testing.T) {
 		t.Fatalf("result does not look like CSV:\n%s", v.Result)
 	}
 }
+
+// TestStreamStatsJobRoundTrip drives the longrun experiment — open-loop
+// source workload plus streaming latency sketch — through the job API,
+// checking the stream_stats spec field reaches the options and the
+// daemon's table matches the CLI path byte for byte.
+func TestStreamStatsJobRoundTrip(t *testing.T) {
+	h := newHarness(t, Config{QueueCap: 4})
+	v := h.submit(Spec{Experiment: "longrun", Quick: true, Parallelism: 1, StreamStats: true})
+	v = h.await(v.ID, 2*time.Minute, terminal)
+	if v.State != StateDone {
+		t.Fatalf("job ended %s: %s", v.State, v.Error)
+	}
+
+	table, err := experiments.Run("longrun", func() experiments.Options {
+		o := experiments.Quick()
+		o.Parallelism = 1
+		o.StreamStats = true
+		return o
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	table.Format(&want)
+	if v.Result != want.String() {
+		t.Fatalf("daemon result diverges from the CLI path:\n--- daemon ---\n%s--- cli ---\n%s", v.Result, want.String())
+	}
+}

@@ -1,0 +1,104 @@
+package stats
+
+import "math"
+
+// Sketch geometry: log-spaced buckets with 16 per octave (ratio
+// 2^(1/16) ≈ 1.044 between edges), starting at 0.1 µs. 768 buckets
+// span 48 octaves — up to ~2.8e7 seconds, far past any simulated
+// latency — in a fixed 6 KiB array. The relative width of every
+// bucket is γ−1 ≈ 4.4%, which is the quantile error bound StreamSummary
+// advertises.
+const (
+	sketchPerOctave = 16
+	sketchBuckets   = 768
+	sketchLo        = 1e-7
+)
+
+// StreamSummary accumulates latency samples in constant memory: exact
+// running count/mean/max (the same accumulation the exact Summary
+// performs, so those moments match a buffered computation bit for bit)
+// plus a log-bucketed quantile sketch. Unlike the exact two-pass
+// Histogram, it never retains samples, so a simulation's memory stays
+// independent of its makespan. Quantiles are approximate: the reported
+// value is the geometric midpoint of the bucket holding the exact
+// quantile, so the error is bounded by that one bucket's width
+// (BucketWidth) for any sample in [1e-7 s, 2.8e7 s); samples outside
+// clamp to the edge buckets and void the bound there.
+type StreamSummary struct {
+	sum     Summary
+	buckets [sketchBuckets]uint64
+}
+
+// Observe adds one sample. NaN samples are dropped, matching
+// Histogram.Observe; infinities clamp to the edge buckets.
+func (s *StreamSummary) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	s.sum.Observe(v)
+	s.buckets[sketchIndex(v)]++
+}
+
+// sketchIndex maps a sample to its bucket, clamping at the edges.
+func sketchIndex(v float64) int {
+	if v <= sketchLo {
+		return 0
+	}
+	i := int(math.Log2(v/sketchLo) * sketchPerOctave)
+	if i < 0 {
+		return 0
+	}
+	if i >= sketchBuckets {
+		return sketchBuckets - 1
+	}
+	return i
+}
+
+// N reports the sample count.
+func (s *StreamSummary) N() int { return s.sum.N() }
+
+// Mean reports the exact sample mean (0 when empty).
+func (s *StreamSummary) Mean() float64 { return s.sum.Mean() }
+
+// Max reports the exact largest sample (0 when empty).
+func (s *StreamSummary) Max() float64 { return s.sum.Max() }
+
+// Min reports the exact smallest sample (0 when empty).
+func (s *StreamSummary) Min() float64 { return s.sum.Min() }
+
+// Quantile reports an approximate q-quantile: the geometric midpoint
+// of the bucket that holds the exact quantile sample (the rank
+// ⌊q·n⌋ order statistic, the same rank Histogram.Quantile targets).
+// q=1 walks past every bucket and reports the exact maximum. With no
+// observations the result is NaN, mirroring Histogram.Quantile.
+func (s *StreamSummary) Quantile(q float64) float64 {
+	if s.sum.n == 0 {
+		return math.NaN()
+	}
+	target := uint64(q * float64(s.sum.n))
+	var cum uint64
+	for i, c := range s.buckets {
+		cum += c
+		if cum > target {
+			return bucketMid(i)
+		}
+	}
+	return s.sum.Max()
+}
+
+// bucketMid is the geometric midpoint of bucket i — the point whose
+// worst-case distance to any sample in the bucket is half the bucket
+// width in either direction.
+func bucketMid(i int) float64 {
+	return sketchLo * math.Exp2((float64(i)+0.5)/sketchPerOctave)
+}
+
+// BucketWidth reports the width of the bucket that holds v — the
+// sketch's quantile error bound around v. For v below the first edge
+// it reports the first bucket's width.
+func (s *StreamSummary) BucketWidth(v float64) float64 {
+	i := sketchIndex(v)
+	lo := sketchLo * math.Exp2(float64(i)/sketchPerOctave)
+	hi := sketchLo * math.Exp2(float64(i+1)/sketchPerOctave)
+	return hi - lo
+}

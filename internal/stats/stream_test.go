@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the reference the sketch is judged against: the
+// ⌊q·n⌋ order statistic, the same rank Quantile targets.
+func exactQuantile(sorted []float64, q float64) float64 {
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// The sketch's advertised contract: p50/p95/p99 within one bucket
+// width of the exact quantile, over distributions shaped like the
+// simulator's latencies (exponential service tails, bimodal
+// cache-hit/miss mixtures, heavy lognormal tails), and count/mean/max
+// bit-identical to the exact Summary.
+func TestStreamSummaryQuantileBound(t *testing.T) {
+	dists := []struct {
+		name string
+		draw func(r *rand.Rand) float64
+	}{
+		{"exponential-10ms", func(r *rand.Rand) float64 { return r.ExpFloat64() * 0.010 }},
+		{"uniform-0-100ms", func(r *rand.Rand) float64 { return r.Float64() * 0.100 }},
+		{"bimodal-hit-miss", func(r *rand.Rand) float64 {
+			if r.Float64() < 0.7 {
+				return 50e-6 + r.Float64()*100e-6 // cache hit: tens of µs
+			}
+			return 0.005 + r.ExpFloat64()*0.008 // media access: ms
+		}},
+		{"lognormal-tail", func(r *rand.Rand) float64 {
+			return math.Exp(r.NormFloat64()*1.5 - 6) // median ~2.5ms, long tail
+		}},
+	}
+	for _, d := range dists {
+		for seed := int64(1); seed <= 5; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			var s StreamSummary
+			var exact Summary
+			samples := make([]float64, 20000)
+			for i := range samples {
+				v := d.draw(r)
+				samples[i] = v
+				s.Observe(v)
+				exact.Observe(v)
+			}
+			if s.N() != exact.N() || s.Mean() != exact.Mean() || s.Max() != exact.Max() {
+				t.Fatalf("%s/seed=%d: moments diverge from exact Summary: n=%d/%d mean=%v/%v max=%v/%v",
+					d.name, seed, s.N(), exact.N(), s.Mean(), exact.Mean(), s.Max(), exact.Max())
+			}
+			sort.Float64s(samples)
+			for _, q := range []float64{0.5, 0.95, 0.99} {
+				want := exactQuantile(samples, q)
+				got := s.Quantile(q)
+				if bound := s.BucketWidth(want); math.Abs(got-want) > bound {
+					t.Errorf("%s/seed=%d: p%g = %v, exact %v, |diff| %v > bucket width %v",
+						d.name, seed, 100*q, got, want, math.Abs(got-want), bound)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamSummaryEmpty(t *testing.T) {
+	var s StreamSummary
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Errorf("empty quantile = %v, want NaN", s.Quantile(0.5))
+	}
+	if s.N() != 0 || s.Mean() != 0 || s.Max() != 0 {
+		t.Errorf("empty moments: n=%d mean=%v max=%v", s.N(), s.Mean(), s.Max())
+	}
+}
+
+func TestStreamSummaryEdges(t *testing.T) {
+	var s StreamSummary
+	s.Observe(math.NaN()) // dropped, like Histogram
+	if s.N() != 0 {
+		t.Fatalf("NaN observed: n=%d", s.N())
+	}
+	s.Observe(0)           // below the first edge: clamps to bucket 0
+	s.Observe(1e300)       // beyond the last edge: clamps to the top bucket
+	s.Observe(math.Inf(1)) // likewise
+	s.Observe(5e-8)        // sub-Lo positive
+	if s.N() != 4 {
+		t.Fatalf("n=%d, want 4", s.N())
+	}
+	if q := s.Quantile(1); q != s.Max() {
+		t.Errorf("q=1 reports %v, want the exact max %v", q, s.Max())
+	}
+	if q := s.Quantile(0); q <= 0 || q > sketchLo*2 {
+		t.Errorf("q=0 with clamped-low samples reports %v, want the first bucket's midpoint", q)
+	}
+}
+
+// Quantile monotonicity: a higher q never reports a lower value.
+func TestStreamSummaryQuantileMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var s StreamSummary
+	for i := 0; i < 5000; i++ {
+		s.Observe(r.ExpFloat64() * 0.003)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v < Quantile(prev) = %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// The observe path is the per-request hot path of a streaming run: it
+// must not allocate at all (ISSUE 7 satellite: AllocsPerRun guard for
+// the streaming-sketch observe path).
+func TestStreamSummaryObserveAllocFree(t *testing.T) {
+	var s StreamSummary
+	r := rand.New(rand.NewSource(1))
+	vals := make([]float64, 256)
+	for i := range vals {
+		vals[i] = r.ExpFloat64() * 0.01
+	}
+	burst := func() {
+		for _, v := range vals {
+			s.Observe(v)
+		}
+	}
+	burst()
+	if avg := testing.AllocsPerRun(20, burst); avg > 0 {
+		t.Errorf("StreamSummary.Observe allocates %.1f times per burst; want 0", avg)
+	}
+}

@@ -42,6 +42,24 @@ type Workload struct {
 	// workload (no buffer cache) it equals Trace.
 	Server *trace.Trace
 
+	// NewSource, when non-nil, marks a generated workload: records are
+	// drawn from a deterministic generator instead of a materialized
+	// Trace (which is then nil), so memory stays independent of the
+	// record count. Each call returns a fresh generator positioned at
+	// the first record; the generator reports false when the stream is
+	// exhausted. Source workloads replay open-loop only.
+	NewSource func() func() (trace.Record, bool)
+	// SourceRecords and SourceWriteFraction describe a generated stream
+	// the way Trace.Len and Trace.WriteFraction describe a materialized
+	// one (the write fraction is the configured probability, not an
+	// empirical count).
+	SourceRecords       int
+	SourceWriteFraction float64
+	// SourceRate is the aggregate arrival rate (records/second) a
+	// generated stream was sized for; callers mirror it into the
+	// replay's ArrivalRate.
+	SourceRate float64
+
 	// Streams is the number of simultaneous I/O streams the paper's
 	// server uses (Web: 16 helper threads; proxy/file: 128).
 	Streams int

@@ -1,6 +1,7 @@
 package diskthru
 
 import (
+	"fmt"
 	"io"
 
 	"diskthru/internal/trace"
@@ -17,11 +18,23 @@ type Workload struct {
 // "synthetic-16KB", ...).
 func (w *Workload) Name() string { return w.inner.Name }
 
-// Records reports the disk-level trace length.
-func (w *Workload) Records() int { return w.inner.Trace.Len() }
+// Records reports the disk-level trace length (for a generated source
+// workload, the stream length).
+func (w *Workload) Records() int {
+	if w.inner.Trace == nil {
+		return w.inner.SourceRecords
+	}
+	return w.inner.Trace.Len()
+}
 
-// WriteFraction reports the fraction of trace records that are writes.
-func (w *Workload) WriteFraction() float64 { return w.inner.Trace.WriteFraction() }
+// WriteFraction reports the fraction of trace records that are writes
+// (for a generated source workload, the configured probability).
+func (w *Workload) WriteFraction() float64 {
+	if w.inner.Trace == nil {
+		return w.inner.SourceWriteFraction
+	}
+	return w.inner.Trace.WriteFraction()
+}
 
 // Streams reports the paper's stream count for this server type.
 func (w *Workload) Streams() int { return w.inner.Streams }
@@ -36,13 +49,21 @@ func (w *Workload) FootprintBlocks() int64 { return w.inner.Layout.UsedBlocks() 
 func (w *Workload) AvgFileBlocks() int { return w.inner.AvgFileBlocks }
 
 // EncodeTrace writes the disk-level trace in the binary trace format.
+// Source workloads have no materialized trace to encode.
 func (w *Workload) EncodeTrace(dst io.Writer) error {
+	if w.inner.Trace == nil {
+		return fmt.Errorf("diskthru: %s generates records on the fly; there is no trace to encode", w.Name())
+	}
 	return trace.Encode(dst, w.inner.Trace)
 }
 
 // BlockAccessCounts returns the access count of the n most-accessed
-// logical blocks, most popular first — the data behind Figure 2.
+// logical blocks, most popular first — the data behind Figure 2. Nil
+// for source workloads, which never materialize their access stream.
 func (w *Workload) BlockAccessCounts(n int) []int {
+	if w.inner.Trace == nil {
+		return nil
+	}
 	top := w.inner.Trace.BlockCounts(w.inner.Layout).TopN(n)
 	out := make([]int, len(top))
 	for i, bc := range top {
@@ -133,6 +154,82 @@ func FileServerWorkload(scale float64) (*Workload, error) {
 		return nil, err
 	}
 	return &Workload{inner: w}, nil
+}
+
+// LongRunOptions configures the open-loop longrun workload. Hours is
+// required; every other zero value takes the default multi-tenant mix
+// (8 tenants, 2048 x 16 KB files each, 400 arrivals/s aggregate).
+type LongRunOptions struct {
+	// Hours is the target makespan in simulated hours.
+	Hours float64
+	// Tenants, FilesPerTenant, FileKB shape the data set.
+	Tenants        int
+	FilesPerTenant int
+	FileKB         int
+	// ZipfAlpha is the within-tenant popularity skew, TenantSkew the
+	// across-tenant one.
+	ZipfAlpha  float64
+	TenantSkew float64
+	// WriteFraction is the probability a request is a write.
+	WriteFraction float64
+	// RatePerSecond is the aggregate arrival rate the stream is sized
+	// for; pass the same value as Config.ArrivalRate.
+	RatePerSecond float64
+	// Seed makes generation deterministic (default 1).
+	Seed int64
+	// VolumeBlocks overrides the logical-volume size.
+	VolumeBlocks int64
+}
+
+// LongRunWorkload builds the constant-memory open-loop workload: a
+// multi-tenant Poisson arrival stream generated record by record, never
+// materialized, sized to run for Hours of simulated time. Replay it
+// with Config.ArrivalRate = RatePerSecond and Config.StreamStats so the
+// whole run — generation, replay, telemetry, statistics — holds memory
+// independent of the makespan.
+func LongRunWorkload(opts LongRunOptions) (*Workload, error) {
+	cfg := workload.DefaultLongRun(opts.Hours)
+	if opts.Tenants > 0 {
+		cfg.Tenants = opts.Tenants
+	}
+	if opts.FilesPerTenant > 0 {
+		cfg.FilesPerTenant = opts.FilesPerTenant
+	}
+	if opts.FileKB > 0 {
+		cfg.FileKB = opts.FileKB
+	}
+	if opts.ZipfAlpha > 0 {
+		cfg.ZipfAlpha = opts.ZipfAlpha
+	}
+	if opts.TenantSkew > 0 {
+		cfg.TenantSkew = opts.TenantSkew
+	}
+	if opts.WriteFraction > 0 {
+		cfg.WriteFraction = opts.WriteFraction
+	}
+	if opts.RatePerSecond > 0 {
+		cfg.RatePerSecond = opts.RatePerSecond
+	}
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	if opts.VolumeBlocks > 0 {
+		cfg.VolumeBlocks = opts.VolumeBlocks
+	}
+	w, err := workload.LongRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{inner: w}, nil
+}
+
+// ArrivalRateFor reports the arrival rate a longrun workload was sized
+// for, so callers can mirror it into Config.ArrivalRate.
+func (w *Workload) ArrivalRateFor() float64 {
+	if w.inner.NewSource == nil {
+		return 0
+	}
+	return w.inner.SourceRate
 }
 
 // MailWorkload synthesizes an mbox-style mail-server workload at the

@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-compare bench-long fuzz profile serve-smoke metrics-lint
+.PHONY: check vet build test race bench bench-compare bench-long fuzz profile serve-smoke fleet-smoke metrics-lint
 
-check: vet build race fuzz metrics-lint serve-smoke bench-long
+check: vet build race fuzz metrics-lint serve-smoke fleet-smoke bench-long
 
 vet:
 	$(GO) vet ./...
@@ -87,3 +87,31 @@ serve-smoke:
 	[ -n "$$out" ] || { echo "serve-smoke: empty result"; exit 1; }; \
 	printf '%s\n' "$$out" | head -n 3; \
 	echo "serve-smoke: OK"
+
+# Fleet smoke test: boot three diskthrud daemons, run table2 -quick
+# through the coordinator, and require the merged table to be
+# byte-identical to a single-node `diskthru -j 1` run — the fleet's
+# central determinism guarantee, checked end to end with real processes.
+fleet-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$p1 $$p2 $$p3 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/diskthrud ./cmd/diskthrud; \
+	$(GO) build -o $$tmp/diskthru ./cmd/diskthru; \
+	$(GO) build -o $$tmp/diskthru-fleet ./cmd/diskthru-fleet; \
+	$$tmp/diskthrud -addr 127.0.0.1:0 -addr-file $$tmp/a1 >$$tmp/d1.log 2>&1 & p1=$$!; \
+	$$tmp/diskthrud -addr 127.0.0.1:0 -addr-file $$tmp/a2 >$$tmp/d2.log 2>&1 & p2=$$!; \
+	$$tmp/diskthrud -addr 127.0.0.1:0 -addr-file $$tmp/a3 >$$tmp/d3.log 2>&1 & p3=$$!; \
+	for i in $$(seq 1 100); do \
+		[ -s $$tmp/a1 ] && [ -s $$tmp/a2 ] && [ -s $$tmp/a3 ] && break; sleep 0.1; done; \
+	[ -s $$tmp/a1 ] && [ -s $$tmp/a2 ] && [ -s $$tmp/a3 ] || { \
+		echo "fleet-smoke: daemons never wrote their addresses"; \
+		cat $$tmp/d1.log $$tmp/d2.log $$tmp/d3.log; exit 1; }; \
+	$$tmp/diskthru -experiment table2 -quick -j 1 >$$tmp/single.out; \
+	$$tmp/diskthru-fleet -daemons "$$(cat $$tmp/a1),$$(cat $$tmp/a2),$$(cat $$tmp/a3)" \
+		-experiment table2 -quick >$$tmp/fleet.out 2>$$tmp/fleet.log; \
+	diff -u $$tmp/single.out $$tmp/fleet.out || { \
+		echo "fleet-smoke: fleet output is not byte-identical to single-node"; \
+		cat $$tmp/fleet.log; exit 1; }; \
+	head -n 3 $$tmp/fleet.out; \
+	echo "fleet-smoke: OK (byte-identical to single-node)"

@@ -12,8 +12,13 @@
 //	wait   <job-id>          poll until terminal; print the result
 //	run    -experiment ...   submit + wait in one step
 //	cancel <job-id>          request cancellation
-//	list                     list all jobs (id, state, experiment)
+//	list [-limit N]          list jobs, oldest first (id, state, experiment, submitted)
 //	metrics                  dump the daemon's /metrics text
+//
+// A 429 from the daemon's bounded admission queue is not an error: the
+// client honors Retry-After and retries the submission with the same
+// capped, jittered backoff the fleet coordinator uses (-retries bounds
+// the attempts; -retries 0 restores fail-fast).
 //
 // Exit status is 0 only when the addressed job ends in state "done"
 // (for wait/run) or the request succeeded (for the rest).
@@ -28,6 +33,8 @@ import (
 	"net/http"
 	"os"
 	"time"
+
+	"diskthru/internal/fleet"
 )
 
 // view mirrors serve.View; only the fields the client prints.
@@ -44,11 +51,12 @@ type view struct {
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:7070", "daemon base URL")
 	poll := flag.Duration("poll", 200*time.Millisecond, "poll interval for wait/run")
+	retries := flag.Int("retries", 5, "submissions retried after 429 backpressure (0 = fail fast)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fail("usage: diskthru-client [-addr URL] submit|status|result|wait|run|cancel|list|metrics ...")
 	}
-	c := client{base: *addr, poll: *poll}
+	c := client{base: *addr, poll: *poll, retries: *retries}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
 	case "submit":
@@ -68,10 +76,23 @@ func main() {
 	case "cancel":
 		c.printJSON("DELETE", "/v1/jobs/"+argID(args), nil)
 	case "list":
-		var views []view
-		c.getJSON("/v1/jobs", &views)
-		for _, v := range views {
-			fmt.Printf("%s\t%s\t%s\n", v.ID, v.State, v.Spec.Experiment)
+		fs := flag.NewFlagSet("list", flag.ExitOnError)
+		limit := fs.Int("limit", 0, "return only the newest N jobs (0 = all)")
+		_ = fs.Parse(args)
+		path := "/v1/jobs"
+		if *limit > 0 {
+			path = fmt.Sprintf("%s?limit=%d", path, *limit)
+		}
+		var entries []struct {
+			ID          string    `json:"id"`
+			State       string    `json:"state"`
+			Experiment  string    `json:"experiment"`
+			SubmittedAt time.Time `json:"submitted_at"`
+		}
+		c.getJSON(path, &entries)
+		for _, e := range entries {
+			fmt.Printf("%s\t%s\t%s\t%s\n", e.ID, e.State, e.Experiment,
+				e.SubmittedAt.Format(time.RFC3339))
 		}
 	case "metrics":
 		resp := c.do("GET", "/metrics", nil)
@@ -95,8 +116,9 @@ func fail(format string, args ...any) {
 }
 
 type client struct {
-	base string
-	poll time.Duration
+	base    string
+	poll    time.Duration
+	retries int
 }
 
 func (c client) do(method, path string, body io.Reader) *http.Response {
@@ -178,9 +200,35 @@ func (c client) submit(args []string) view {
 		spec["format"] = *format
 	}
 	body, _ := json.Marshal(spec)
-	var v view
-	c.doJSON("POST", "/v1/jobs", bytes.NewReader(body), &v)
-	return v
+	return c.post(body)
+}
+
+// post submits the job body, absorbing 429 backpressure: the daemon's
+// Retry-After is honored as the backoff floor (the same fleet.Backoff
+// policy the coordinator uses), up to c.retries retries.
+func (c client) post(body []byte) view {
+	var backoff fleet.Backoff // zero value: 100ms..5s, full jitter
+	for attempt := 0; ; attempt++ {
+		resp := c.do("POST", "/v1/jobs", bytes.NewReader(body))
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < c.retries {
+			retryAfter, _ := fleet.ParseRetryAfter(resp.Header)
+			delay := backoff.Delay(attempt, retryAfter)
+			fmt.Fprintf(os.Stderr, "diskthru-client: daemon busy (429); retry %d/%d in %v\n",
+				attempt+1, c.retries, delay.Round(time.Millisecond))
+			time.Sleep(delay)
+			continue
+		}
+		if resp.StatusCode/100 != 2 {
+			fail("diskthru-client: POST /v1/jobs: %s: %s", resp.Status, bytes.TrimSpace(raw))
+		}
+		var v view
+		if err := json.Unmarshal(raw, &v); err != nil {
+			fail("diskthru-client: bad response: %v", err)
+		}
+		return v
+	}
 }
 
 // wait polls until the job reaches a terminal state.

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"diskthru"
+)
+
+// The fleet coordinator (internal/fleet) shards an experiment across
+// many daemons at the granularity the parallel runner already uses: one
+// cell is one independent simulation replay. This file exports that
+// decomposition without exposing the runner itself.
+//
+// A cell is addressed by a CellID that is deterministic for a given
+// (experiment, Options) pair: Phase is the ordinal of the runner.wait
+// call that executes it (drivers call wait in a fixed order), Index the
+// cell's position within that phase. Cells within a phase are
+// independent by the runner's contract; cells of a later phase may
+// depend on every result of earlier phases (the degraded driver plans
+// its fault schedule from the healthy phase's makespans), so a remote
+// executor replays all earlier phases locally before running the
+// target cell. That re-execution is the price of result-dependent
+// plans; single-phase experiments — every sweep the paper's tables and
+// figures need — pay nothing.
+//
+// Remote results travel as gob: float64 round-trips bit-exact, so a
+// table assembled from remotely-executed cells is byte-identical to a
+// local run.
+
+// CellID names one simulation cell of one experiment deterministically.
+type CellID struct {
+	// Phase is the ordinal of the driver's runner phase (0 for every
+	// single-phase driver).
+	Phase int `json:"phase"`
+	// Index is the cell's position within the phase, in the order the
+	// driver enumerated them.
+	Index int `json:"index"`
+}
+
+func (id CellID) String() string { return fmt.Sprintf("p%d.c%d", id.Phase, id.Index) }
+
+// CellExec dispatches one cell on behalf of RunWithCellExec. run
+// executes the cell locally on the calling goroutine. inject accepts a
+// payload produced by RunCell for the same (experiment, Options, id)
+// and writes it into the cell's result slot; it is nil for cells that
+// are pure local computations with no transportable result — those must
+// be executed via run. Exactly one of run or inject must succeed before
+// CellExec returns nil.
+type CellExec func(id CellID, run func() error, inject func(payload []byte) error) error
+
+// cellSession carries per-invocation cell state across the runners a
+// driver creates. Exactly one of target (RunCell) and exec
+// (RunWithCellExec) is set.
+type cellSession struct {
+	phases  int // wait() calls seen so far; the next phase's ordinal
+	target  *CellID
+	payload []byte
+	exec    CellExec
+}
+
+// nextPhase hands out phase ordinals in wait-call order. Drivers call
+// wait sequentially from one goroutine, so no locking is needed.
+func (s *cellSession) nextPhase() int {
+	p := s.phases
+	s.phases++
+	return p
+}
+
+// errCellCaptured aborts a driver once RunCell has what it came for:
+// the target cell ran and its slot is encoded in the session. Drivers
+// return wait errors unchanged, so the sentinel surfaces in RunCell.
+var errCellCaptured = errors.New("experiments: cell captured")
+
+// ErrCellNotRemotable marks cells whose result cannot be transported: a
+// bare computation writing driver-local state rather than a
+// *diskthru.Result or *diskthru.LiveResult slot. Coordinators run such
+// cells locally.
+var ErrCellNotRemotable = errors.New("experiments: cell is not remotable")
+
+// Slot payloads are tagged with the slot's type so a payload can never
+// be decoded into the wrong kind of slot (LiveResult embeds Result, and
+// gob matches by field name, so an untagged mismatch could decode
+// silently).
+const (
+	tagResult     = 'R'
+	tagLiveResult = 'L'
+)
+
+// encodeSlot serializes one cell's result slot.
+func encodeSlot(slot any) ([]byte, error) {
+	var tag byte
+	switch slot.(type) {
+	case *diskthru.Result:
+		tag = tagResult
+	case *diskthru.LiveResult:
+		tag = tagLiveResult
+	default:
+		return nil, fmt.Errorf("%w (slot type %T)", ErrCellNotRemotable, slot)
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(tag)
+	if err := gob.NewEncoder(&buf).Encode(slot); err != nil {
+		return nil, fmt.Errorf("experiments: encoding cell result: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeSlot writes a RunCell payload into the matching local slot.
+func decodeSlot(payload []byte, slot any) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("experiments: empty cell payload")
+	}
+	var want byte
+	switch slot.(type) {
+	case *diskthru.Result:
+		want = tagResult
+	case *diskthru.LiveResult:
+		want = tagLiveResult
+	default:
+		return fmt.Errorf("%w (slot type %T)", ErrCellNotRemotable, slot)
+	}
+	if payload[0] != want {
+		return fmt.Errorf("experiments: cell payload tag %q does not match slot type (want %q)",
+			payload[0], want)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload[1:])).Decode(slot); err != nil {
+		return fmt.Errorf("experiments: decoding cell result: %w", err)
+	}
+	return nil
+}
+
+// RunCell executes exactly one cell of one experiment and returns its
+// encoded result slot — the daemon side of fleet execution. Phases
+// before id.Phase run in full (their results may shape the target
+// phase's plan); within the target phase only the target cell runs, and
+// the driver is then aborted. The payload is opaque to callers; hand it
+// to the inject callback of a RunWithCellExec dispatch of the same
+// (name, o, id) to reproduce a local run bit for bit.
+func RunCell(name string, o Options, id CellID) ([]byte, error) {
+	fn, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if id.Phase < 0 || id.Index < 0 {
+		return nil, fmt.Errorf("experiments: negative cell id %v", id)
+	}
+	sess := &cellSession{target: &id}
+	o.cells = sess
+	_, err = fn(o)
+	switch {
+	case errors.Is(err, errCellCaptured):
+		return sess.payload, nil
+	case err != nil:
+		return nil, err
+	default:
+		// The driver finished every phase without reaching the target:
+		// the id names a phase or index the decomposition does not have.
+		return nil, fmt.Errorf("experiments: %s has no cell %v", name, id)
+	}
+}
+
+// RunWithCellExec runs an experiment with every cell routed through
+// exec instead of the local worker pool — the coordinator side of fleet
+// execution. The driver still enumerates cells, phases, and assembles
+// the table locally, so presentation order is preserved no matter where
+// or in what order cells execute; with exec injecting RunCell payloads,
+// the rendered table is byte-identical to a plain Run. Cells are
+// dispatched concurrently up to o.Parallelism (the fleet sets this to
+// its total in-flight window).
+func RunWithCellExec(name string, o Options, exec CellExec) (*Table, error) {
+	fn, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if exec == nil {
+		return nil, fmt.Errorf("experiments: nil CellExec")
+	}
+	o.cells = &cellSession{exec: exec}
+	return fn(o)
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"diskthru"
+)
+
+// remoteShim is a CellExec that simulates fleet execution in-process:
+// every remotable cell is re-derived from scratch through RunCell —
+// exactly what a daemon does for a cell job — and its payload injected;
+// bare cells fall back to local execution. No state is shared with the
+// driving invocation besides the payload bytes, so a passing test
+// proves the wire decomposition alone reproduces the table.
+func remoteShim(t *testing.T, name string, o Options) CellExec {
+	t.Helper()
+	return func(id CellID, run func() error, inject func([]byte) error) error {
+		if inject == nil {
+			return run()
+		}
+		payload, err := RunCell(name, o, id)
+		if err != nil {
+			return err
+		}
+		return inject(payload)
+	}
+}
+
+// TestCellExecByteIdentical drives a representative slice of the
+// registry through the remote-cell path and requires the rendered
+// tables to match a plain local run byte for byte:
+//
+//   - table2: the fleet acceptance sweep (multi-workload compare cells)
+//   - fig2:   bare computation cells (not remotable, local fallback)
+//   - ext-victim: RunLive cells (LiveResult slot payloads)
+//   - degraded: two phases, the second planned from the first's results
+func TestCellExecByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-runs experiments cell by cell")
+	}
+	for _, name := range []string{"table2", "fig2", "ext-victim", "degraded"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			o := Quick()
+			o.Parallelism = 2 // exercise concurrent dispatch
+			want, err := Run(name, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunWithCellExec(name, o, remoteShim(t, name, o))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.String() != want.String() {
+				t.Errorf("remote-cell table differs from local run:\n--- local ---\n%s--- remote ---\n%s",
+					want.String(), got.String())
+			}
+		})
+	}
+}
+
+// TestRunCellErrors pins the failure modes a coordinator depends on:
+// unknown cells fail loudly instead of returning an empty payload.
+func TestRunCellErrors(t *testing.T) {
+	o := Quick()
+	if _, err := RunCell("table2", o, CellID{Phase: 7, Index: 0}); err == nil ||
+		!strings.Contains(err.Error(), "no cell") {
+		t.Errorf("out-of-range phase: err = %v, want 'no cell'", err)
+	}
+	if _, err := RunCell("table2", o, CellID{Phase: 0, Index: 999}); err == nil ||
+		!strings.Contains(err.Error(), "no index") {
+		t.Errorf("out-of-range index: err = %v, want 'no index'", err)
+	}
+	if _, err := RunCell("table2", o, CellID{Phase: -1, Index: 0}); err == nil {
+		t.Error("negative phase accepted")
+	}
+	if _, err := RunCell("nope", o, CellID{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunCellPayloadDeterministic: the same cell encodes to the same
+// bytes on every execution — the property that makes at-most-once
+// acceptance a safety net rather than a correctness requirement.
+func TestRunCellPayloadDeterministic(t *testing.T) {
+	o := Quick()
+	id := CellID{Phase: 0, Index: 1}
+	a, err := RunCell("table2", o, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCell("table2", o, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("same cell produced different payloads across runs")
+	}
+}
+
+// TestDecodeSlotTagMismatch: payloads can never be injected into a slot
+// of the wrong type.
+func TestDecodeSlotTagMismatch(t *testing.T) {
+	o := Quick()
+	payload, err := RunCell("table2", o, CellID{Phase: 0, Index: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeSlot(payload, new(diskthru.LiveResult)); err == nil {
+		t.Error("Result payload decoded into LiveResult slot")
+	}
+	if err := decodeSlot(nil, new(diskthru.LiveResult)); err == nil {
+		t.Error("empty payload decoded")
+	}
+	if err := decodeSlot(payload, &struct{}{}); !errors.Is(err, ErrCellNotRemotable) {
+		t.Errorf("bad slot type: err = %v, want ErrCellNotRemotable", err)
+	}
+}

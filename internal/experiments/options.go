@@ -51,6 +51,11 @@ type Options struct {
 	// job daemon attaches one per job; cmd/diskthru's -progress flag
 	// attaches one per experiment.
 	Progress *probe.Progress
+	// cells carries the cell-granularity execution session installed by
+	// RunCell / RunWithCellExec (see cell.go); nil for ordinary runs.
+	// Unexported on purpose: the only safe producers are in this
+	// package.
+	cells *cellSession
 }
 
 // parallelism resolves the worker-pool width.

@@ -19,12 +19,26 @@ import (
 // cell owns its own simulator and seeded generators, so cell results —
 // and therefore the assembled tables — are byte-identical at any
 // parallelism.
+//
+// When Options carries a cell session (RunCell / RunWithCellExec in
+// cell.go), wait additionally knows each cell's result slot, so a cell
+// can run on another machine and have its slot filled by wire payload
+// instead of local execution.
 type runner struct {
 	par    int
 	ctx    context.Context // never nil; Background when Options.Ctx is unset
 	prog   *probe.Progress // nil-safe; reports cell plan + completions
 	stream bool            // Options.StreamStats, threaded into every cell
-	cells  []func() error
+	sess   *cellSession    // nil outside RunCell / RunWithCellExec
+	cells  []cellEntry
+}
+
+// cellEntry is one cell plus the metadata remote execution needs: the
+// result slot its closure writes (nil for bare computations, which are
+// not remotable).
+type cellEntry struct {
+	fn   func() error
+	slot any // *diskthru.Result, *diskthru.LiveResult, or nil
 }
 
 func newRunner(o Options) *runner {
@@ -32,12 +46,22 @@ func newRunner(o Options) *runner {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &runner{par: o.parallelism(), ctx: ctx, prog: o.Progress, stream: o.StreamStats}
+	return &runner{par: o.parallelism(), ctx: ctx, prog: o.Progress,
+		stream: o.StreamStats, sess: o.cells}
 }
 
-// add appends one cell. Cells must not read other cells' slots and must
-// not mutate anything shared except through a workloadRef.
-func (r *runner) add(fn func() error) { r.cells = append(r.cells, fn) }
+// add appends one bare-computation cell. Cells must not read other
+// cells' slots and must not mutate anything shared except through a
+// workloadRef.
+func (r *runner) add(fn func() error) {
+	r.cells = append(r.cells, cellEntry{fn: fn})
+}
+
+// addSlot appends a cell whose entire observable result lands in slot,
+// making it eligible for remote execution.
+func (r *runner) addSlot(fn func() error, slot any) {
+	r.cells = append(r.cells, cellEntry{fn: fn, slot: slot})
+}
 
 // workloadRef builds a workload lazily, exactly once, for the cells that
 // share it. Workloads are read-only during replay (bitmaps, rigs and
@@ -62,7 +86,7 @@ func (wr *workloadRef) get() (*diskthru.Workload, error) {
 // result lands in. Read the slot only after wait returns nil.
 func (r *runner) run(wr *workloadRef, cfg diskthru.Config) *diskthru.Result {
 	res := new(diskthru.Result)
-	r.add(func() error {
+	r.addSlot(func() error {
 		w, err := wr.get()
 		if err != nil {
 			return err
@@ -75,7 +99,7 @@ func (r *runner) run(wr *workloadRef, cfg diskthru.Config) *diskthru.Result {
 		}
 		*res = v
 		return nil
-	})
+	}, res)
 	return res
 }
 
@@ -86,7 +110,7 @@ func (r *runner) compare(wr *workloadRef, base diskthru.Config, systems []diskth
 	for i, sys := range systems {
 		sys := sys
 		res := new(diskthru.Result)
-		r.add(func() error {
+		r.addSlot(func() error {
 			w, err := wr.get()
 			if err != nil {
 				return err
@@ -100,7 +124,7 @@ func (r *runner) compare(wr *workloadRef, base diskthru.Config, systems []diskth
 			}
 			*res = v
 			return nil
-		})
+		}, res)
 		out[i] = res
 	}
 	return out
@@ -109,7 +133,7 @@ func (r *runner) compare(wr *workloadRef, base diskthru.Config, systems []diskth
 // runLive appends a cell executing diskthru.RunLive.
 func (r *runner) runLive(wr *workloadRef, cfg diskthru.Config, opts diskthru.LiveOptions) *diskthru.LiveResult {
 	res := new(diskthru.LiveResult)
-	r.add(func() error {
+	r.addSlot(func() error {
 		w, err := wr.get()
 		if err != nil {
 			return err
@@ -121,7 +145,7 @@ func (r *runner) runLive(wr *workloadRef, cfg diskthru.Config, opts diskthru.Liv
 		}
 		*res = v
 		return nil
-	})
+	}, res)
 	return res
 }
 
@@ -132,11 +156,49 @@ func (r *runner) cell(i int) error {
 	if err := r.ctx.Err(); err != nil {
 		return err
 	}
-	if err := r.cells[i](); err != nil {
+	if err := r.cells[i].fn(); err != nil {
 		return err
 	}
 	r.prog.CellDone()
 	return nil
+}
+
+// dispatch routes cell i through the session's CellExec: bare cells run
+// locally via the hook's run callback, slot-carrying cells may instead
+// be injected from a remote RunCell payload.
+func (r *runner) dispatch(phase, i int) error {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	e := r.cells[i]
+	id := CellID{Phase: phase, Index: i}
+	var inject func([]byte) error
+	if e.slot != nil {
+		inject = func(payload []byte) error { return decodeSlot(payload, e.slot) }
+	}
+	if err := r.sess.exec(id, e.fn, inject); err != nil {
+		return err
+	}
+	r.prog.CellDone()
+	return nil
+}
+
+// capture executes only the target cell of this phase and encodes its
+// slot into the session — the terminal step of RunCell on the daemon.
+func (r *runner) capture(id CellID) error {
+	if id.Index >= len(r.cells) {
+		return fmt.Errorf("experiments: phase %d has %d cells, no index %d",
+			id.Phase, len(r.cells), id.Index)
+	}
+	if err := r.cell(id.Index); err != nil {
+		return err
+	}
+	payload, err := encodeSlot(r.cells[id.Index].slot)
+	if err != nil {
+		return err
+	}
+	r.sess.payload = payload
+	return errCellCaptured
 }
 
 // wait executes the cells and blocks until all have finished or the
@@ -148,19 +210,39 @@ func (r *runner) cell(i int) error {
 // with the smallest index wins, matching the serial path's choice for
 // any set of already-started cells. A cancelled Options.Ctx surfaces
 // here as the first error of whichever cell observed it.
+//
+// Under a cell session, wait first claims this phase's ordinal. In
+// capture mode (RunCell) a phase before the target runs in full — later
+// phases may plan from its results — while the target phase runs only
+// the target cell and aborts the driver with errCellCaptured. In exec
+// mode (RunWithCellExec) every cell is routed through the session's
+// dispatcher instead of running locally.
 func (r *runner) wait() error {
 	n := len(r.cells)
 	// The cell plan is known only now (drivers append cells up to this
 	// point), so this is where the progress tracker learns the
 	// denominator; completions then stream in from cell.
 	r.prog.AddCells(n)
+	exec := r.cell
+	if r.sess != nil {
+		phase := r.sess.nextPhase()
+		switch {
+		case r.sess.target != nil:
+			if phase == r.sess.target.Phase {
+				return r.capture(*r.sess.target)
+			}
+			// An earlier phase: run it in full, locally, below.
+		case r.sess.exec != nil:
+			exec = func(i int) error { return r.dispatch(phase, i) }
+		}
+	}
 	par := r.par
 	if par > n {
 		par = n
 	}
 	if par <= 1 {
 		for i := range r.cells {
-			if err := r.cell(i); err != nil {
+			if err := exec(i); err != nil {
 				return err
 			}
 		}
@@ -183,7 +265,7 @@ func (r *runner) wait() error {
 				if i >= n || stop.Load() {
 					return
 				}
-				if err := r.cell(i); err != nil {
+				if err := exec(i); err != nil {
 					stop.Store(true)
 					mu.Lock()
 					if i < errIdx {

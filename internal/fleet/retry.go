@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Backoff computes capped exponential retry delays with full jitter —
+// the policy both the fleet dispatcher and cmd/diskthru-client apply
+// when a daemon answers 429 or disappears. Jitter matters in a fleet:
+// synchronized retries from many coordinator workers re-create the very
+// thundering herd the 429 was shedding.
+type Backoff struct {
+	// Base is the attempt-0 delay ceiling. Zero means 100ms.
+	Base time.Duration
+	// Max caps the exponential growth. Zero means 5s.
+	Max time.Duration
+	// Rand draws the jitter in [0,1); nil uses the global source. Tests
+	// inject a deterministic one.
+	Rand func() float64
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return 100 * time.Millisecond
+}
+
+func (b Backoff) max() time.Duration {
+	if b.Max > 0 {
+		return b.Max
+	}
+	return 5 * time.Second
+}
+
+// Delay returns the wait before retry number attempt (0-based). The
+// ceiling doubles each attempt from Base up to Max, and the actual
+// delay is drawn uniformly from (0, ceiling] ("full jitter"). A
+// server-provided floor — a Retry-After header — overrides the ceiling
+// when larger: the server knows its own queue better than we do.
+func (b Backoff) Delay(attempt int, retryAfter time.Duration) time.Duration {
+	ceiling := b.base() << uint(min(attempt, 30))
+	if ceiling > b.max() || ceiling <= 0 {
+		ceiling = b.max()
+	}
+	r := b.Rand
+	if r == nil {
+		r = rand.Float64
+	}
+	d := time.Duration((1 - r()) * float64(ceiling)) // (0, ceiling]
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// Sleep waits Delay(attempt, retryAfter) or until ctx fires, returning
+// ctx's error in the latter case.
+func (b Backoff) Sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	t := time.NewTimer(b.Delay(attempt, retryAfter))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// ParseRetryAfter reads a response's Retry-After header in its
+// delay-seconds form (what diskthrud sends). Absent or unparsable
+// headers report false; the HTTP-date form is deliberately unsupported
+// — none of our servers emit it.
+func ParseRetryAfter(h http.Header) (time.Duration, bool) {
+	raw := h.Get("Retry-After")
+	if raw == "" {
+		return 0, false
+	}
+	secs, err := strconv.ParseFloat(raw, 64)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs * float64(time.Second)), true
+}

@@ -4,17 +4,20 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 )
 
 // Handler returns the daemon's HTTP surface:
 //
 //	POST   /v1/jobs               submit a Spec        -> 202 View | 400 | 429 | 503
-//	GET    /v1/jobs               list jobs            -> 200 []View
+//	GET    /v1/jobs               job index            -> 200 []IndexEntry
+//	                              (?limit=N keeps the N newest)
 //	GET    /v1/jobs/{id}          status + result      -> 200 View | 404
 //	GET    /v1/jobs/{id}/progress NDJSON live progress -> 200 stream | 404
 //	DELETE /v1/jobs/{id}          cancel               -> 202 View | 404
-//	GET    /healthz               liveness + drain flag
+//	GET    /healthz               liveness; 200 "ok" serving,
+//	                              503 "draining" while draining
 //	GET    /metrics               Prometheus text; ?format=legacy for the
 //	                              pre-registry listing (see Metrics)
 //
@@ -79,8 +82,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleList serves the job index: compact entries (id, state,
+// experiment, cell, submitted-at) in submission order. ?limit=N keeps
+// only the N most recently submitted jobs.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.List())
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad limit: want a non-negative integer"})
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, s.Index(limit))
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -101,10 +116,19 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, v)
 }
 
+// handleHealthz reports liveness. A draining daemon answers 503 with
+// status "draining" so load balancers and the fleet coordinator stop
+// dispatching to it while it finishes accepted work — new submissions
+// would only bounce off admission with 503 anyway.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"draining": s.Draining(),
+	status, code := "ok", http.StatusOK
+	draining := s.Draining()
+	if draining {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"draining": draining,
 	})
 }
 

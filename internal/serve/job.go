@@ -53,6 +53,21 @@ type Spec struct {
 	// Format selects the result rendering: "text" (default, the CLI's
 	// aligned table) or "csv".
 	Format string `json:"format,omitempty"`
+	// SynRequests, WebScale, ProxyScale and FileScale override the
+	// corresponding experiment scales when positive, so a coordinator
+	// can reproduce any local Options remotely. Zero keeps the
+	// Quick/Defaults value.
+	SynRequests int     `json:"syn_requests,omitempty"`
+	WebScale    float64 `json:"web_scale,omitempty"`
+	ProxyScale  float64 `json:"proxy_scale,omitempty"`
+	FileScale   float64 `json:"file_scale,omitempty"`
+	// Cell, when set, switches the job to cell granularity: instead of
+	// the whole experiment, the daemon executes exactly one simulation
+	// cell of its decomposition (experiments.RunCell) and the job result
+	// is the cell's base64-encoded payload rather than a rendered table.
+	// This is the unit the fleet coordinator (internal/fleet) dispatches;
+	// Format is ignored for cell jobs.
+	Cell *experiments.CellID `json:"cell,omitempty"`
 }
 
 // validate rejects specs the worker could never execute.
@@ -71,6 +86,12 @@ func (sp Spec) validate() error {
 	if sp.Parallelism < 0 {
 		return fmt.Errorf("serve: negative parallelism %d", sp.Parallelism)
 	}
+	if sp.SynRequests < 0 || sp.WebScale < 0 || sp.ProxyScale < 0 || sp.FileScale < 0 {
+		return fmt.Errorf("serve: negative scale override")
+	}
+	if sp.Cell != nil && (sp.Cell.Phase < 0 || sp.Cell.Index < 0) {
+		return fmt.Errorf("serve: negative cell id %v", *sp.Cell)
+	}
 	return nil
 }
 
@@ -84,6 +105,18 @@ func (sp Spec) options() experiments.Options {
 	o.Seed = sp.Seed
 	o.Parallelism = sp.Parallelism
 	o.StreamStats = sp.StreamStats
+	if sp.SynRequests > 0 {
+		o.SynRequests = sp.SynRequests
+	}
+	if sp.WebScale > 0 {
+		o.WebScale = sp.WebScale
+	}
+	if sp.ProxyScale > 0 {
+		o.ProxyScale = sp.ProxyScale
+	}
+	if sp.FileScale > 0 {
+		o.FileScale = sp.FileScale
+	}
 	return o
 }
 
@@ -114,6 +147,18 @@ type job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+}
+
+// IndexEntry is the compact JSON shape of one job in the GET /v1/jobs
+// listing: enough to enumerate and triage work without dragging every
+// result body over the wire (fetch GET /v1/jobs/{id} for the rest).
+type IndexEntry struct {
+	ID         string `json:"id"`
+	State      State  `json:"state"`
+	Experiment string `json:"experiment"`
+	// Cell is present for cell-granularity jobs (fleet shards).
+	Cell        *experiments.CellID `json:"cell,omitempty"`
+	SubmittedAt time.Time           `json:"submitted_at"`
 }
 
 // View is the JSON shape of a job returned by the API.

@@ -15,6 +15,7 @@ package serve
 
 import (
 	"context"
+	"encoding/base64"
 	"errors"
 	"fmt"
 	"io"
@@ -138,6 +139,17 @@ func runSpec(ctx context.Context, sp Spec, prog *probe.Progress) (string, error)
 	o := sp.options()
 	o.Ctx = ctx
 	o.Progress = prog
+	if sp.Cell != nil {
+		// Cell granularity: the result is the single cell's encoded
+		// slot, base64 so it survives the JSON job view. The coordinator
+		// that submitted it decodes and injects it into its own driver
+		// invocation; it is not human-readable on purpose.
+		payload, err := experiments.RunCell(sp.Experiment, o, *sp.Cell)
+		if err != nil {
+			return "", err
+		}
+		return base64.StdEncoding.EncodeToString(payload), nil
+	}
 	t, err := experiments.Run(sp.Experiment, o)
 	if err != nil {
 		return "", err
@@ -210,6 +222,32 @@ func (s *Server) List() []View {
 	out := make([]View, 0, len(s.order))
 	for _, id := range s.order {
 		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// Index returns compact job summaries in submission order — the
+// GET /v1/jobs listing. A positive limit keeps only the most recently
+// submitted jobs (the tail), which is what an operator watching a busy
+// daemon and a coordinator enumerating outstanding work both want;
+// limit <= 0 returns everything.
+func (s *Server) Index(limit int) []IndexEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	order := s.order
+	if limit > 0 && limit < len(order) {
+		order = order[len(order)-limit:]
+	}
+	out := make([]IndexEntry, 0, len(order))
+	for _, id := range order {
+		j := s.jobs[id]
+		out = append(out, IndexEntry{
+			ID:          j.id,
+			State:       j.state,
+			Experiment:  j.spec.Experiment,
+			Cell:        j.spec.Cell,
+			SubmittedAt: j.submitted,
+		})
 	}
 	return out
 }

@@ -466,12 +466,40 @@ func TestListHealthzMetrics(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("list: status %d", status)
 	}
-	var views []View
-	if err := json.Unmarshal(raw, &views); err != nil {
+	var index []IndexEntry
+	if err := json.Unmarshal(raw, &index); err != nil {
 		t.Fatal(err)
 	}
-	if len(views) != 2 || views[0].ID != first.ID || views[1].ID != second.ID {
-		t.Fatalf("list order wrong: %+v", views)
+	if len(index) != 2 || index[0].ID != first.ID || index[1].ID != second.ID {
+		t.Fatalf("list order wrong: %+v", index)
+	}
+	if index[0].Experiment != "fig1" || index[1].Experiment != "fig2" {
+		t.Fatalf("index experiments wrong: %+v", index)
+	}
+	if index[0].SubmittedAt.IsZero() {
+		t.Fatal("index entry missing submitted_at")
+	}
+	if bytes.Contains(raw, []byte(`"result"`)) {
+		t.Fatal("job index leaks result bodies")
+	}
+
+	// ?limit=N paginates to the N most recently submitted jobs.
+	status, _, raw = h.request("GET", "/v1/jobs?limit=1", nil)
+	if status != http.StatusOK {
+		t.Fatalf("list limit=1: status %d", status)
+	}
+	index = nil
+	if err := json.Unmarshal(raw, &index); err != nil {
+		t.Fatal(err)
+	}
+	if len(index) != 1 || index[0].ID != second.ID {
+		t.Fatalf("limit=1 should keep only the newest job: %+v", index)
+	}
+	if status, _, _ = h.request("GET", "/v1/jobs?limit=-3", nil); status != http.StatusBadRequest {
+		t.Errorf("negative limit: status %d, want 400", status)
+	}
+	if status, _, _ = h.request("GET", "/v1/jobs?limit=bogus", nil); status != http.StatusBadRequest {
+		t.Errorf("non-numeric limit: status %d, want 400", status)
 	}
 
 	status, _, raw = h.request("GET", "/healthz", nil)

@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-compare bench-long fuzz profile serve-smoke fleet-smoke metrics-lint
+.PHONY: check vet build test race bench bench-compare bench-long fuzz profile serve-smoke fleet-smoke crash-smoke metrics-lint
 
-check: vet build race fuzz metrics-lint serve-smoke fleet-smoke bench-long
+check: vet build race fuzz metrics-lint serve-smoke fleet-smoke crash-smoke bench-long
 
 vet:
 	$(GO) vet ./...
@@ -18,8 +18,11 @@ test:
 # -race covers the experiment worker pool: TestSerialParallelEquivalence
 # runs every driver's cells on an 8-worker pool, and the telemetry
 # isolation test runs concurrent replays on one shared Telemetry.
+# -shuffle=on randomizes test order so accidental inter-test state
+# (shared registries, leftover files) surfaces instead of hiding behind
+# a lucky fixed order.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Short fuzz budgets over the two untrusted input surfaces (trace files
 # and fault-profile JSON) plus the event-queue equivalence property:
@@ -58,6 +61,57 @@ bench-long:
 # `go tool pprof cpu.prof`.
 profile:
 	$(GO) run ./cmd/diskthru -experiment table2 -quick -cpuprofile cpu.prof -memprofile mem.prof
+
+# Crash-injection smoke test: boot a journal-enabled diskthrud, submit
+# table2, SIGKILL the daemon while cell payloads are still streaming
+# into the journal, restart it on the same -state-dir, and require the
+# recovered job's output to diff byte-identically against a fresh
+# single-process `diskthru -j 1` run. The in-process variant (torn
+# mid-append frames at every byte offset) runs in the test suite; this
+# exercises the same path with real processes and a real SIGKILL.
+crash-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill -9 $$pid $$pid2 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/diskthrud ./cmd/diskthrud; \
+	$(GO) build -o $$tmp/diskthru ./cmd/diskthru; \
+	$(GO) build -o $$tmp/diskthru-client ./cmd/diskthru-client; \
+	$$tmp/diskthrud -addr 127.0.0.1:0 -addr-file $$tmp/a1 \
+		-state-dir $$tmp/state >$$tmp/d1.log 2>&1 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/a1 ] && break; sleep 0.1; done; \
+	[ -s $$tmp/a1 ] || { \
+		echo "crash-smoke: daemon never wrote its address"; \
+		cat $$tmp/d1.log; exit 1; }; \
+	job=$$($$tmp/diskthru-client -addr "http://$$(cat $$tmp/a1)" \
+		submit -experiment table2 -quick -j 1 -key crash-smoke); \
+	for i in $$(seq 1 600); do \
+		ok=$$($$tmp/diskthru-client -addr "http://$$(cat $$tmp/a1)" metrics \
+			| awk '$$1 == "serve_journal_appends_total" && $$2 >= 4 {print "yes"}'); \
+		[ "$$ok" = yes ] && break; sleep 0.05; done; \
+	[ "$$ok" = yes ] || { \
+		echo "crash-smoke: journal never accumulated cell records"; \
+		cat $$tmp/d1.log; exit 1; }; \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; \
+	$$tmp/diskthrud -addr 127.0.0.1:0 -addr-file $$tmp/a2 \
+		-state-dir $$tmp/state >$$tmp/d2.log 2>&1 & pid2=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/a2 ] && break; sleep 0.1; done; \
+	[ -s $$tmp/a2 ] || { \
+		echo "crash-smoke: restarted daemon never wrote its address"; \
+		cat $$tmp/d2.log; exit 1; }; \
+	$$tmp/diskthru-client -addr "http://$$(cat $$tmp/a2)" metrics \
+		| grep '^serve_jobs_recovered_total{disposition="resumed"} 1' >/dev/null || { \
+		echo "crash-smoke: restarted daemon did not recover the job"; \
+		cat $$tmp/d2.log; exit 1; }; \
+	$$tmp/diskthru-client -addr "http://$$(cat $$tmp/a2)" \
+		wait "$$job" >$$tmp/recovered.out; \
+	echo >>$$tmp/recovered.out; \
+	$$tmp/diskthru -experiment table2 -quick -j 1 >$$tmp/single.out; \
+	diff -u $$tmp/single.out $$tmp/recovered.out || { \
+		echo "crash-smoke: recovered output is not byte-identical to single-node"; \
+		cat $$tmp/d2.log; exit 1; }; \
+	replayed=$$($$tmp/diskthru-client -addr "http://$$(cat $$tmp/a2)" metrics \
+		| awk '$$1 == "serve_cells_replayed_total" {print $$2}'); \
+	echo "crash-smoke: OK (byte-identical after SIGKILL; $$replayed cells replayed from journal)"
 
 # Scrape a live test daemon's /metrics through HTTP and validate every
 # family with the exposition parser and linter (naming conventions,

@@ -6,7 +6,7 @@
 //
 //	diskthru-client [-addr http://127.0.0.1:7070] <command> [args]
 //
-//	submit -experiment fig1 [-quick] [-j N] [-seed S] [-timeout 30s] [-format csv]
+//	submit -experiment fig1 [-quick] [-j N] [-seed S] [-timeout 30s] [-format csv] [-key K]
 //	status <job-id>          print the job's JSON view
 //	result <job-id>          print a finished job's rendered result
 //	wait   <job-id>          poll until terminal; print the result
@@ -26,6 +26,8 @@ package main
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -178,12 +180,19 @@ func (c client) submit(args []string) view {
 		seed       = fs.Int64("seed", 0, "generator seed offset")
 		timeout    = fs.Duration("timeout", 0, "job deadline (0 = server default)")
 		format     = fs.String("format", "", "result format: text | csv")
+		key        = fs.String("key", "", "idempotency key; resubmitting the same key admits at most one job (empty = auto-generated)")
 	)
 	_ = fs.Parse(args)
 	if *experiment == "" {
 		fail("diskthru-client: submit needs -experiment")
 	}
-	spec := map[string]any{"experiment": *experiment}
+	if *key == "" {
+		// One key per submission chain: every 429 retry below reuses
+		// it, so backpressure retries can never double-admit — even if
+		// the daemon restarts between attempts.
+		*key = newKey()
+	}
+	spec := map[string]any{"experiment": *experiment, "idempotency_key": *key}
 	if *quick {
 		spec["quick"] = true
 	}
@@ -203,9 +212,21 @@ func (c client) submit(args []string) view {
 	return c.post(body)
 }
 
+// newKey generates a random idempotency key.
+func newKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		fail("diskthru-client: generating idempotency key: %v", err)
+	}
+	return "cli-" + hex.EncodeToString(b[:])
+}
+
 // post submits the job body, absorbing 429 backpressure: the daemon's
 // Retry-After is honored as the backoff floor (the same fleet.Backoff
-// policy the coordinator uses), up to c.retries retries.
+// policy the coordinator uses), up to c.retries retries. The spec's
+// idempotency key makes the whole retry chain admit at most one job (a
+// replayed key answers 200 with the original view, which decodes the
+// same as a fresh 202).
 func (c client) post(body []byte) view {
 	var backoff fleet.Backoff // zero value: 100ms..5s, full jitter
 	for attempt := 0; ; attempt++ {

@@ -14,6 +14,12 @@
 // The coordinator degrades gracefully: daemons that die mid-sweep have
 // their cells requeued to survivors, and with -no-local-fallback unset
 // a fleet that loses every daemon finishes the sweep locally.
+//
+// With -state-dir the coordinator journals every accepted cell payload;
+// if the sweep is killed, rerunning with -state-dir and -resume injects
+// the journaled cells and dispatches only the rest, producing the same
+// bytes as an uninterrupted run. -resume refuses a journal whose
+// fingerprint (experiment + scales + seed) does not match the request.
 package main
 
 import (
@@ -48,6 +54,8 @@ func run() int {
 		attempts  = flag.Int("max-attempts", 0, "remote dispatches per cell before giving up on the fleet (0 = 8)")
 		noLocal   = flag.Bool("no-local-fallback", false, "fail the sweep instead of running exhausted cells locally")
 		cellTime  = flag.Duration("cell-timeout", 0, "bound one remote cell attempt (0 = none)")
+		stateDir  = flag.String("state-dir", "", "journal accepted cell payloads under this directory so a killed sweep can resume (empty = off)")
+		resume    = flag.Bool("resume", false, "reload the journal in -state-dir and skip cells it already holds (requires -state-dir)")
 		timeout   = flag.Duration("timeout", 0, "abort the whole sweep after this long (0 = no limit)")
 		streamSt  = flag.Bool("stream-stats", false, "aggregate open-loop latencies in a constant-memory streaming sketch")
 		format    = flag.String("format", "text", "output format: text | csv")
@@ -68,6 +76,12 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
+	if *resume && *all {
+		// The journal fingerprints one (experiment, options) sweep; a
+		// multi-experiment resume would mismatch on the second run.
+		fmt.Fprintln(os.Stderr, "diskthru-fleet: -resume works with a single -experiment, not -all")
+		return 2
+	}
 
 	coord, err := fleet.New(fleet.Config{
 		Endpoints:            endpoints,
@@ -75,6 +89,8 @@ func run() int {
 		MaxAttempts:          *attempts,
 		DisableLocalFallback: *noLocal,
 		CellTimeout:          *cellTime,
+		StateDir:             *stateDir,
+		Resume:               *resume,
 		Logger:               logger,
 	})
 	if err != nil {

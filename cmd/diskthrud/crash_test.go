@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"diskthru/internal/experiments"
+)
+
+// daemonProc is one spawned diskthrud under test.
+type daemonProc struct {
+	cmd    *exec.Cmd
+	base   string
+	stderr *bytes.Buffer
+}
+
+// startDaemon boots the built binary with the given extra flags and
+// waits for its address file.
+func startDaemon(t *testing.T, bin, dir string, extra ...string) *daemonProc {
+	t.Helper()
+	addrFile := filepath.Join(dir, fmt.Sprintf("addr-%d", time.Now().UnixNano()))
+	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, extra...)
+	var stderr bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill() })
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
+			return &daemonProc{cmd: cmd, base: "http://" + strings.TrimSpace(string(raw)), stderr: &stderr}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never wrote its address; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// getJSON decodes a GET response into out.
+func (d *daemonProc) getJSON(t *testing.T, path string, out any) {
+	t.Helper()
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// metric scrapes /metrics and returns the (first) value of an exactly
+// matching series, false when absent.
+func (d *daemonProc) metric(t *testing.T, series string) (float64, bool) {
+	t.Helper()
+	resp, err := http.Get(d.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("unparseable metric line %q", line)
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// jobView is the subset of the daemon's job view the harness reads.
+type jobView struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Error     string `json:"error"`
+	Result    string `json:"result"`
+	Recovered bool   `json:"recovered"`
+}
+
+// TestCrashRecoveryByteIdentical is the crash-injection acceptance run:
+// a real daemon is SIGKILLed mid-job — while journal appends are in
+// flight, so the kill can land mid-append — then restarted on the same
+// state dir. The job must resume from its journaled cells, finish, and
+// render byte-identically to an uninterrupted single-process run; the
+// recovery counters must account for the resumed job and replayed
+// cells, and the original idempotency key must still map to it.
+func TestCrashRecoveryByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the daemon and runs table2 twice")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "diskthrud")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building diskthrud: %v", err)
+	}
+	stateDir := filepath.Join(dir, "state")
+
+	d1 := startDaemon(t, bin, dir, "-state-dir", stateDir)
+	body := `{"experiment":"table2","quick":true,"parallelism":1}`
+	req, err := http.NewRequest("POST", d1.base+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", "crash-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+
+	// Wait until the journal holds the submission, the start record and
+	// at least two cell payloads — then the kill provably interrupts a
+	// mid-flight job with a non-empty checkpoint, and appends are still
+	// streaming so SIGKILL can land mid-append.
+	for deadline := time.Now().Add(2 * time.Minute); ; {
+		if n, ok := d1.metric(t, "serve_journal_appends_total"); ok && n >= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal never reached 4 appends; stderr:\n%s", d1.stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(time.Duration(rand.Intn(50)) * time.Millisecond) // randomize the kill point
+	if err := d1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = d1.cmd.Wait()
+
+	d2 := startDaemon(t, bin, dir, "-state-dir", stateDir)
+	if n, ok := d2.metric(t, `serve_jobs_recovered_total{disposition="resumed"}`); !ok || n != 1 {
+		t.Errorf("serve_jobs_recovered_total{disposition=\"resumed\"} = %v (present %v), want 1", n, ok)
+	}
+
+	// The idempotency key survived the crash: retrying the submission
+	// must answer 200 with the original job, not admit a second one.
+	req, err = http.NewRequest("POST", d2.base+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", "crash-1")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replay jobView
+	if err := json.NewDecoder(resp.Body).Decode(&replay); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || replay.ID != v.ID {
+		t.Errorf("post-crash retry: status %s id %s, want 200 with original %s",
+			resp.Status, replay.ID, v.ID)
+	}
+
+	var final jobView
+	for deadline := time.Now().Add(5 * time.Minute); ; {
+		d2.getJSON(t, "/v1/jobs/"+v.ID, &final)
+		if final.State == "done" || final.State == "failed" || final.State == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered job stuck in %s; stderr:\n%s", final.State, d2.stderr.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if final.State != "done" {
+		t.Fatalf("recovered job ended %s: %s", final.State, final.Error)
+	}
+	if !final.Recovered {
+		t.Error("recovered job not flagged recovered")
+	}
+
+	// Byte-identity against the uninterrupted path: same registry, same
+	// options, same renderer as `diskthru -experiment table2 -quick -j 1`.
+	o := experiments.Quick()
+	o.Parallelism = 1
+	table, err := experiments.Run("table2", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	table.Format(&want)
+	if final.Result != want.String() {
+		t.Fatalf("recovered result diverges from the uninterrupted run:\n--- recovered ---\n%s--- uninterrupted ---\n%s",
+			final.Result, want.String())
+	}
+
+	// At least the two pre-kill cells must have been injected from the
+	// journal rather than re-run.
+	if n, ok := d2.metric(t, "serve_cells_replayed_total"); !ok || n < 2 {
+		t.Errorf("serve_cells_replayed_total = %v (present %v), want >= 2", n, ok)
+	}
+
+	// Clean shutdown of the survivor.
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- d2.cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exited with %v; stderr:\n%s", err, d2.stderr.String())
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("daemon did not exit; stderr:\n%s", d2.stderr.String())
+	}
+}

@@ -51,6 +51,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long a signal-triggered drain waits before cancelling jobs")
 		logFormat    = flag.String("log-format", "text", "log record encoding: text or json")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off); keep it loopback-only")
+		stateDir     = flag.String("state-dir", "", "directory for the crash-safety journal; jobs survive SIGKILL and resume from their last completed cell (empty = memory-only)")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logFormat)
@@ -97,13 +98,17 @@ func main() {
 		}()
 	}
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		QueueCap:       *queueCap,
 		Workers:        *workers,
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		Logger:         logger,
+		StateDir:       *stateDir,
 	})
+	if err != nil {
+		fatal("recovering state", err)
+	}
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()

@@ -43,13 +43,17 @@ type CellID struct {
 func (id CellID) String() string { return fmt.Sprintf("p%d.c%d", id.Phase, id.Index) }
 
 // CellExec dispatches one cell on behalf of RunWithCellExec. run
-// executes the cell locally on the calling goroutine. inject accepts a
-// payload produced by RunCell for the same (experiment, Options, id)
+// executes the cell locally on the calling goroutine and returns the
+// cell's encoded result slot — the same payload RunCell would produce —
+// or nil for cells with no transportable result, so a checkpointing
+// executor (internal/serve's journal) can persist locally-computed
+// cells without re-encoding. inject accepts a payload produced by
+// RunCell (or a previous run) for the same (experiment, Options, id)
 // and writes it into the cell's result slot; it is nil for cells that
 // are pure local computations with no transportable result — those must
 // be executed via run. Exactly one of run or inject must succeed before
 // CellExec returns nil.
-type CellExec func(id CellID, run func() error, inject func(payload []byte) error) error
+type CellExec func(id CellID, run func() ([]byte, error), inject func(payload []byte) error) error
 
 // cellSession carries per-invocation cell state across the runners a
 // driver creates. Exactly one of target (RunCell) and exec

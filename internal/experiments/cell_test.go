@@ -16,9 +16,10 @@ import (
 // proves the wire decomposition alone reproduces the table.
 func remoteShim(t *testing.T, name string, o Options) CellExec {
 	t.Helper()
-	return func(id CellID, run func() error, inject func([]byte) error) error {
+	return func(id CellID, run func() ([]byte, error), inject func([]byte) error) error {
 		if inject == nil {
-			return run()
+			_, err := run()
+			return err
 		}
 		payload, err := RunCell(name, o, id)
 		if err != nil {

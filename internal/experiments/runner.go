@@ -176,7 +176,16 @@ func (r *runner) dispatch(phase, i int) error {
 	if e.slot != nil {
 		inject = func(payload []byte) error { return decodeSlot(payload, e.slot) }
 	}
-	if err := r.sess.exec(id, e.fn, inject); err != nil {
+	run := func() ([]byte, error) {
+		if err := e.fn(); err != nil {
+			return nil, err
+		}
+		if e.slot == nil {
+			return nil, nil
+		}
+		return encodeSlot(e.slot)
+	}
+	if err := r.sess.exec(id, run, inject); err != nil {
 		return err
 	}
 	r.prog.CellDone()

@@ -51,11 +51,14 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
 	"diskthru/internal/experiments"
+	"diskthru/internal/journal"
 	"diskthru/internal/metrics"
 	"diskthru/internal/serve"
 )
@@ -86,6 +89,17 @@ type Config struct {
 	CellTimeout time.Duration
 	// Backoff shapes the retry delays (zero value = 100ms..5s, jittered).
 	Backoff Backoff
+	// StateDir, when set, journals every accepted cell payload to an
+	// fsync'd log under this directory so a killed coordinator can
+	// resume a sweep. Each Run starts a fresh journal unless Resume is
+	// set.
+	StateDir string
+	// Resume makes Run reload the journal in StateDir first: cells with
+	// a journaled payload are injected without dispatch, the rest run
+	// normally. The journal carries a fingerprint of (experiment,
+	// options); Run fails closed on a mismatch rather than merging
+	// cells from a different sweep. Requires StateDir.
+	Resume bool
 	// Logger receives structured dispatch records; nil discards.
 	Logger *slog.Logger
 	// Registry receives the coordinator's metrics; nil creates a
@@ -176,6 +190,7 @@ type Coordinator struct {
 	completed  *metrics.Counter
 	local      *metrics.Counter
 	duplicates *metrics.Counter
+	resumedC   *metrics.Counter
 
 	mu       sync.Mutex
 	accepted map[experiments.CellID]bool
@@ -185,6 +200,17 @@ type Coordinator struct {
 	runMu      sync.Mutex
 	experiment string
 	opts       experiments.Options
+	// jnl and resumed implement crash-safe sweeps (Config.StateDir):
+	// resumed holds the payloads reloaded from the journal, keyed by
+	// cell; jnl receives every newly accepted payload. Both are
+	// replaced at the start of each Run and resumed is read-only during
+	// the sweep.
+	jnl     *journal.Writer
+	resumed map[experiments.CellID][]byte
+	// nonce makes this Run's idempotency keys distinct from any earlier
+	// process's, so a daemon that survived a coordinator crash does not
+	// replay a stale job at a retried key.
+	nonce string
 }
 
 // New validates the config and builds the coordinator (no I/O yet; the
@@ -192,6 +218,9 @@ type Coordinator struct {
 func New(cfg Config) (*Coordinator, error) {
 	if len(cfg.Endpoints) == 0 {
 		return nil, fmt.Errorf("fleet: no daemon endpoints")
+	}
+	if cfg.Resume && cfg.StateDir == "" {
+		return nil, fmt.Errorf("fleet: Resume requires StateDir")
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 2
@@ -256,6 +285,8 @@ func (c *Coordinator) initMetrics() {
 		"Cells executed on the coordinator: non-remotable cells plus remote-attempt exhaustion fallbacks.")
 	c.duplicates = c.reg.NewCounter("fleet_results_duplicate_total",
 		"Remote results discarded by at-most-once acceptance.")
+	c.resumedC = c.reg.NewCounter("fleet_cells_resumed_total",
+		"Cells injected from the coordinator's journal instead of dispatched (crash-resume path).")
 	for _, d := range c.daemons {
 		d := d
 		c.reg.NewGaugeFunc("fleet_daemon_up",
@@ -305,9 +336,21 @@ func (c *Coordinator) Run(ctx context.Context, experiment string, o experiments.
 	o.Ctx = ctx
 	c.experiment = experiment
 	c.opts = o
+	c.nonce = fmt.Sprintf("%d", time.Now().UnixNano())
 	c.mu.Lock()
 	c.accepted = make(map[experiments.CellID]bool)
 	c.mu.Unlock()
+	c.resumed = nil
+	c.jnl = nil
+	if c.cfg.StateDir != "" {
+		if err := c.openSweepJournal(); err != nil {
+			return nil, err
+		}
+		defer func() {
+			_ = c.jnl.Close()
+			c.jnl = nil
+		}()
+	}
 
 	pctx, cancel := context.WithCancel(ctx)
 	c.probeAll() // synchronous first sweep: dispatch starts informed
@@ -327,8 +370,122 @@ func (c *Coordinator) Run(ctx context.Context, experiment string, o experiments.
 	}
 	c.log.Info("sweep done", "experiment", experiment,
 		"completed", c.completed.Value(), "stolen", c.stolen.Value(),
-		"requeued", c.requeued.Value(), "local", c.local.Value())
+		"requeued", c.requeued.Value(), "local", c.local.Value(),
+		"resumed", c.resumedC.Value())
 	return t, nil
+}
+
+// sweepRecord is one entry of the coordinator's journal: a "sweep"
+// header fingerprinting the run, or one accepted "cell" payload.
+type sweepRecord struct {
+	Type       string              `json:"type"`
+	Experiment string              `json:"experiment,omitempty"`
+	Spec       *serve.Spec         `json:"spec,omitempty"`
+	Cell       *experiments.CellID `json:"cell,omitempty"`
+	Payload    []byte              `json:"payload,omitempty"`
+}
+
+// baseSpec is the cell submission without the cell — the part shared by
+// every dispatch of this sweep, and therefore the sweep's fingerprint:
+// two sweeps with equal base specs and experiment produce bit-identical
+// cell payloads, so their journals are interchangeable.
+func (c *Coordinator) baseSpec() serve.Spec {
+	sp := c.spec(experiments.CellID{})
+	sp.Cell = nil
+	return sp
+}
+
+// openSweepJournal prepares StateDir for this sweep. Without Resume any
+// previous journal is discarded and a fresh one started with this
+// sweep's fingerprint header. With Resume the journal is replayed
+// first: a fingerprint mismatch fails the run (merging another sweep's
+// cells would silently corrupt the table), a matching one loads every
+// journaled payload into the resumed set — injected without dispatch —
+// and marks those cells accepted. A torn final record (the coordinator
+// died mid-append) is truncated away by the journal layer.
+func (c *Coordinator) openSweepJournal() error {
+	if err := os.MkdirAll(c.cfg.StateDir, 0o755); err != nil {
+		return fmt.Errorf("fleet: state dir: %w", err)
+	}
+	path := filepath.Join(c.cfg.StateDir, "fleet.journal")
+	if !c.cfg.Resume {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("fleet: resetting journal: %w", err)
+		}
+	}
+	base := c.baseSpec()
+	var (
+		headerExp  string
+		headerSpec *serve.Spec
+		resumed    = make(map[experiments.CellID][]byte)
+	)
+	w, torn, err := journal.Open(path, func(p []byte) error {
+		var rec sweepRecord
+		if err := json.Unmarshal(p, &rec); err != nil {
+			return fmt.Errorf("undecodable journal record: %w", err)
+		}
+		switch rec.Type {
+		case "sweep":
+			headerExp, headerSpec = rec.Experiment, rec.Spec
+		case "cell":
+			if rec.Cell != nil {
+				resumed[*rec.Cell] = rec.Payload
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("fleet: opening journal: %w", err)
+	}
+	if torn {
+		c.log.Warn("journal had a torn final record; tail truncated")
+	}
+	if headerExp != "" {
+		wantFP, _ := json.Marshal(base)
+		gotFP, _ := json.Marshal(headerSpec)
+		if headerExp != c.experiment || string(wantFP) != string(gotFP) {
+			_ = w.Close()
+			return fmt.Errorf("fleet: journal in %s fingerprints a different sweep (%s) than requested (%s); not resuming",
+				c.cfg.StateDir, headerExp, c.experiment)
+		}
+		c.resumed = resumed
+		c.mu.Lock()
+		for id := range resumed {
+			c.accepted[id] = true
+		}
+		c.mu.Unlock()
+		c.log.Info("resuming sweep from journal", "cells_journaled", len(resumed))
+	} else {
+		// Empty journal (fresh run, or resume of a sweep that never got
+		// its header out): stamp the fingerprint before any cell.
+		b, err := json.Marshal(sweepRecord{Type: "sweep", Experiment: c.experiment, Spec: &base})
+		if err == nil {
+			err = w.Append(b)
+		}
+		if err != nil {
+			_ = w.Close()
+			return fmt.Errorf("fleet: writing journal header: %w", err)
+		}
+	}
+	c.jnl = w
+	return nil
+}
+
+// journalCell best-effort appends one accepted payload; losing the
+// journal costs resumability, not this sweep.
+func (c *Coordinator) journalCell(id experiments.CellID, payload []byte) {
+	if c.jnl == nil {
+		return
+	}
+	cid := id
+	b, err := json.Marshal(sweepRecord{Type: "cell", Cell: &cid, Payload: payload})
+	if err == nil {
+		err = c.jnl.Append(b)
+	}
+	if err != nil {
+		c.log.Error("journal append failed; sweep is no longer resumable",
+			"cell", id.String(), "error", err.Error())
+	}
 }
 
 // home deterministically assigns a cell's preferred daemon.
@@ -381,10 +538,23 @@ func (c *Coordinator) acquire(ctx context.Context, id experiments.CellID, patien
 // (non-remotable) cells run locally; remotable cells are dispatched
 // with stealing, backpressure, failover and at-most-once acceptance as
 // described in the package comment.
-func (c *Coordinator) execCell(id experiments.CellID, run func() error, inject func([]byte) error) error {
+func (c *Coordinator) execCell(id experiments.CellID, run func() ([]byte, error), inject func([]byte) error) error {
 	if inject == nil {
+		// Bare computation cells are not remotable and carry no
+		// transportable payload, so they cannot be journaled either;
+		// they re-run on resume, which is cheap by construction.
 		c.local.Inc()
-		return run()
+		_, err := run()
+		return err
+	}
+	if payload, ok := c.resumed[id]; ok {
+		if err := inject(payload); err == nil {
+			c.resumedC.Inc()
+			return nil
+		}
+		// Version skew between journal and binary: recompute rather
+		// than fail the sweep.
+		c.log.Warn("journaled cell payload no longer decodes; re-dispatching", "cell", id.String())
 	}
 	ctx := c.opts.Ctx
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
@@ -400,7 +570,7 @@ func (c *Coordinator) execCell(id experiments.CellID, run func() error, inject f
 		if stole {
 			c.stolen.Inc()
 		}
-		payload, err := c.runCellJob(ctx, d, id)
+		payload, err := c.runCellJob(ctx, d, id, attempt)
 		d.release()
 		if err == nil {
 			c.mu.Lock()
@@ -417,6 +587,7 @@ func (c *Coordinator) execCell(id experiments.CellID, run func() error, inject f
 			if err := inject(payload); err != nil {
 				return err // corrupt payload: a bug, not a retry case
 			}
+			c.journalCell(id, payload)
 			c.completed.Inc()
 			return nil
 		}
@@ -440,10 +611,18 @@ func (c *Coordinator) execCell(id experiments.CellID, run func() error, inject f
 			id, c.cfg.MaxAttempts)
 	}
 	// Degraded mode: the fleet is gone or refusing; finish the sweep on
-	// the coordinator. Same cell, same seeds — same bytes.
+	// the coordinator. Same cell, same seeds — same bytes, so the
+	// locally computed payload checkpoints like a remote one.
 	c.local.Inc()
 	c.log.Warn("cell fell back to local execution", "cell", id.String())
-	return run()
+	payload, err := run()
+	if err != nil {
+		return err
+	}
+	if payload != nil {
+		c.journalCell(id, payload)
+	}
+	return nil
 }
 
 // permanentError wraps failures retrying cannot fix (bad specs, driver
@@ -489,13 +668,13 @@ func (c *Coordinator) spec(id experiments.CellID) serve.Spec {
 
 // runCellJob performs one remote attempt: submit, poll to terminal,
 // decode. Every failure is classified retryable or permanent.
-func (c *Coordinator) runCellJob(ctx context.Context, d *daemon, id experiments.CellID) ([]byte, error) {
+func (c *Coordinator) runCellJob(ctx context.Context, d *daemon, id experiments.CellID, attempt int) ([]byte, error) {
 	if c.cfg.CellTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.cfg.CellTimeout)
 		defer cancel()
 	}
-	jobID, err := c.submit(ctx, d, id)
+	jobID, err := c.submit(ctx, d, id, attempt)
 	if err != nil {
 		return nil, err
 	}
@@ -546,7 +725,13 @@ func (c *Coordinator) runCellJob(ctx context.Context, d *daemon, id experiments.
 }
 
 // submit posts the cell job, classifying the daemon's admission answer.
-func (c *Coordinator) submit(ctx context.Context, d *daemon, id experiments.CellID) (string, error) {
+// Each attempt carries its own Idempotency-Key (run nonce + cell +
+// attempt ordinal): a lost response retried at the same key returns the
+// already-admitted job (200) instead of admitting a second one, while a
+// later attempt — whose predecessor's job may have been cancelled —
+// gets a fresh key and therefore a fresh job. Per-cell keys would pin
+// every retry to that first, possibly dead, job.
+func (c *Coordinator) submit(ctx context.Context, d *daemon, id experiments.CellID, attempt int) (string, error) {
 	body, err := json.Marshal(c.spec(id))
 	if err != nil {
 		return "", &permanentError{err: err}
@@ -556,6 +741,7 @@ func (c *Coordinator) submit(ctx context.Context, d *daemon, id experiments.Cell
 		return "", &permanentError{err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", fmt.Sprintf("fleet-%s-%s-a%d", c.nonce, id, attempt))
 	resp, err := c.client.Do(req)
 	if err != nil {
 		d.markDown()
@@ -564,7 +750,7 @@ func (c *Coordinator) submit(ctx context.Context, d *daemon, id experiments.Cell
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	switch resp.StatusCode {
-	case http.StatusAccepted:
+	case http.StatusAccepted, http.StatusOK: // 200 = idempotent replay of this attempt
 		var v serve.View
 		if err := json.Unmarshal(raw, &v); err != nil {
 			return "", &permanentError{err: fmt.Errorf("bad submit response: %w", err)}

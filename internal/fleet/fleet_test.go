@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -21,7 +23,10 @@ func bootDaemons(t *testing.T, n int, wrap func(http.Handler) http.Handler) []st
 	t.Helper()
 	endpoints := make([]string, n)
 	for i := 0; i < n; i++ {
-		srv := serve.New(serve.Config{QueueCap: 16, Workers: 1})
+		srv, err := serve.New(serve.Config{QueueCap: 16, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
 		h := http.Handler(srv.Handler())
 		if wrap != nil {
 			h = wrap(h)
@@ -217,6 +222,7 @@ func TestFleetMetricsLint(t *testing.T) {
 		"fleet_cells_dispatched_total", "fleet_cells_stolen_total",
 		"fleet_cells_requeued_total", "fleet_cells_completed_total",
 		"fleet_cells_local_total", "fleet_results_duplicate_total",
+		"fleet_cells_resumed_total",
 		"fleet_daemon_up", "fleet_daemon_draining", "fleet_daemon_inflight",
 	} {
 		if _, ok := byName[name]; !ok {
@@ -293,4 +299,134 @@ func TestParseRetryAfter(t *testing.T) {
 			t.Errorf("%q parsed", bad)
 		}
 	}
+}
+
+// TestFleetResumeFromJournal: a sweep journaled under -state-dir is
+// rerun with -resume against a fleet that is entirely dead, with local
+// fallback disabled — so the only way the sweep can finish is from the
+// journal. The resumed table must be byte-identical, nothing may be
+// dispatched, and a fingerprint mismatch must fail closed.
+func TestFleetResumeFromJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the faults experiment three times")
+	}
+	want, err := experiments.Run("faults", quick1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	c1, err := New(Config{Endpoints: bootDaemons(t, 2, nil), Window: 2, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c1.Run(context.Background(), "faults", experiments.Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("journaling sweep diverged from single-node run:\n--- single ---\n%s--- fleet ---\n%s", want, got)
+	}
+	journaled := c1.completed.Value()
+	if journaled == 0 {
+		t.Fatal("healthy sweep accepted no remote cells; nothing journaled")
+	}
+
+	// Connection refused on every dial: remote execution is impossible.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	c2, err := New(Config{
+		Endpoints:            []string{deadURL},
+		StateDir:             dir,
+		Resume:               true,
+		DisableLocalFallback: true,
+		MaxAttempts:          1,
+		Backoff:              Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = c2.Run(context.Background(), "faults", experiments.Quick())
+	if err != nil {
+		t.Fatalf("resume against a dead fleet failed — journal did not cover the sweep: %v", err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("resumed table diverged:\n--- single ---\n%s--- resumed ---\n%s", want, got)
+	}
+	if v := c2.completed.Value(); v != 0 {
+		t.Errorf("resume dispatched %v cells remotely, want 0", v)
+	}
+	if v := c2.resumedC.Value(); v != journaled {
+		t.Errorf("resumed %v cells from the journal, want all %v journaled ones", v, journaled)
+	}
+
+	// Same journal, different options: the fingerprint must refuse it.
+	c3, err := New(Config{Endpoints: []string{deadURL}, StateDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := experiments.Quick()
+	o.Seed = 7
+	if _, err := c3.Run(context.Background(), "faults", o); err == nil ||
+		!strings.Contains(err.Error(), "different sweep") {
+		t.Errorf("fingerprint mismatch not rejected: %v", err)
+	}
+}
+
+// TestFleetResumePartialJournal: a journal truncated mid-record (the
+// coordinator was SIGKILLed mid-append) resumes what survived, the
+// healthy fleet re-runs the rest, and the merge is still byte-identical.
+func TestFleetResumePartialJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the faults experiment twice")
+	}
+	want, err := experiments.Run("faults", quick1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	endpoints := bootDaemons(t, 2, nil)
+	c1, err := New(Config{Endpoints: endpoints, Window: 2, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Run(context.Background(), "faults", experiments.Quick()); err != nil {
+		t.Fatal(err)
+	}
+	total := c1.completed.Value()
+	if total < 2 {
+		t.Fatalf("faults accepted only %v remote cells; cannot truncate meaningfully", total)
+	}
+
+	// Chop into the last record: the journal layer must truncate the
+	// torn frame and keep the prefix.
+	path := filepath.Join(dir, "fleet.journal")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New(Config{Endpoints: endpoints, Window: 2, StateDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Run(context.Background(), "faults", experiments.Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("partial resume diverged:\n--- single ---\n%s--- resumed ---\n%s", want, got)
+	}
+	resumed, redone := c2.resumedC.Value(), c2.completed.Value()
+	if resumed == 0 || resumed >= total {
+		t.Errorf("resumed %v of %v cells after truncation, want a proper subset", resumed, total)
+	}
+	if redone == 0 {
+		t.Error("truncated journal resumed everything; the torn record was not dropped")
+	}
+	t.Logf("partial resume: %v resumed, %v re-dispatched of %v", resumed, redone, total)
 }

@@ -1,0 +1,212 @@
+// Package journal is an fsync'd, append-only, CRC-framed record log —
+// the durability primitive behind crash-safe daemons. The daemon
+// (internal/serve) journals job submissions, state transitions and
+// per-cell results; the fleet coordinator journals accepted cell
+// payloads. Both replay their journal at boot to rebuild in-memory
+// state, so a SIGKILL (or power loss, modulo the disk honoring fsync)
+// costs at most the record that was mid-append when the process died.
+//
+// # Frame format
+//
+// Each record is one frame:
+//
+//	[4B little-endian payload length][4B CRC-32C of payload][payload]
+//
+// The payload is opaque to this package; callers bring their own
+// encoding (serve and fleet use JSON).
+//
+// # Torn-write rule
+//
+// A crash can leave at most one partially-written frame, and only at
+// the tail: frames are appended under a mutex with a single Write call,
+// and the file is truncated to its last well-formed frame on every
+// Open. Replay therefore stops at the FIRST frame that is incomplete
+// (short header or short payload), oversized, or fails its CRC, reports
+// torn=true, and discards that frame and everything after it. Records
+// before the torn tail are intact by CRC; records at or after it were
+// never acknowledged as durable (Append returns only after fsync), so
+// dropping them never loses acknowledged state.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// headerSize is the per-frame overhead: length + CRC.
+const headerSize = 8
+
+// maxRecord bounds one payload. A length field beyond it is treated as
+// a torn/garbage tail, not an allocation request.
+const maxRecord = 1 << 30
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// File is the minimal surface Writer needs. *os.File satisfies it;
+// tests inject torn-write wrappers that drop bytes mid-frame to
+// simulate a crash inside the kernel's write path.
+type File interface {
+	io.Writer
+	Sync() error
+}
+
+// Writer appends CRC-framed records to a File, fsyncing each one.
+// Append is safe for concurrent use; a record is durable when Append
+// returns nil.
+type Writer struct {
+	mu      sync.Mutex
+	f       File
+	size    int64
+	appends uint64
+	fsyncs  uint64
+	err     error // first write/sync failure; the journal is dead after it
+}
+
+// NewWriter wraps an already-positioned File whose current length is
+// size. Most callers want Open, which handles replay and truncation.
+func NewWriter(f File, size int64) *Writer {
+	return &Writer{f: f, size: size}
+}
+
+// Append frames, writes and fsyncs one record. The frame goes out in a
+// single Write call so a crash tears at most the tail of this frame,
+// never an earlier record. After any failure the Writer is sticky-dead:
+// every subsequent Append returns the first error, because a partially
+// written frame makes the tail unparseable until the next Open truncates
+// it.
+func (w *Writer) Append(payload []byte) error {
+	if len(payload) > maxRecord {
+		return fmt.Errorf("journal: record of %d bytes exceeds the %d-byte cap", len(payload), maxRecord)
+	}
+	frame := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[headerSize:], payload)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	n, err := w.f.Write(frame)
+	w.size += int64(n)
+	if err != nil {
+		w.err = fmt.Errorf("journal: append: %w", err)
+		return w.err
+	}
+	w.appends++
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("journal: fsync: %w", err)
+		return w.err
+	}
+	w.fsyncs++
+	return nil
+}
+
+// Stats reports cumulative appends, fsyncs, and the current journal
+// size in bytes — the feed for the daemon's journal gauges.
+func (w *Writer) Stats() (appends, fsyncs uint64, bytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appends, w.fsyncs, w.size
+}
+
+// Close closes the underlying file when it is closable.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if c, ok := w.f.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Replay streams every intact record to fn in append order and returns
+// the byte offset of the end of the last intact frame. torn reports
+// whether trailing bytes were discarded under the torn-write rule. A
+// non-nil error from fn aborts the replay and is returned as-is; read
+// errors other than a clean EOF surface wrapped.
+func Replay(r io.Reader, fn func(payload []byte) error) (good int64, torn bool, err error) {
+	br := newCountingReader(r)
+	var header [headerSize]byte
+	for {
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			if err == io.EOF {
+				return good, false, nil // clean end: no partial frame
+			}
+			if err == io.ErrUnexpectedEOF {
+				return good, true, nil // torn header
+			}
+			return good, false, fmt.Errorf("journal: read: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		if length > maxRecord {
+			return good, true, nil // garbage length: torn tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return good, true, nil // torn payload
+			}
+			return good, false, fmt.Errorf("journal: read: %w", err)
+		}
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(header[4:8]) {
+			return good, true, nil // corrupt tail
+		}
+		if err := fn(payload); err != nil {
+			return good, false, err
+		}
+		good = br.n
+	}
+}
+
+// countingReader tracks consumed bytes so Replay knows the offset of
+// the last intact frame without the reader being seekable.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func newCountingReader(r io.Reader) *countingReader { return &countingReader{r: r} }
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Open replays the journal at path (creating it if absent), streaming
+// intact records to fn, truncates any torn tail, and returns a Writer
+// positioned for appending. fn may be nil when the caller only wants
+// the writer. The returned torn flag reports whether a tail was
+// discarded — callers usually log it.
+func Open(path string, fn func(payload []byte) error) (w *Writer, torn bool, err error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, false, fmt.Errorf("journal: open: %w", err)
+	}
+	if fn == nil {
+		fn = func([]byte) error { return nil }
+	}
+	good, torn, err := Replay(f, fn)
+	if err != nil {
+		f.Close()
+		return nil, false, err
+	}
+	if torn {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, false, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, false, fmt.Errorf("journal: seek: %w", err)
+	}
+	return NewWriter(f, good), torn, nil
+}

@@ -1,0 +1,269 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// reopen replays the file and returns the intact records.
+func reopen(t *testing.T, path string) (records [][]byte, torn bool) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	_, torn, err = Replay(f, func(p []byte) error {
+		records = append(records, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return records, torn
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	w, torn, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Fatal("fresh journal reported torn")
+	}
+	want := [][]byte{
+		[]byte("first"),
+		{}, // empty payloads are legal records
+		bytes.Repeat([]byte("x"), 1<<16),
+		[]byte(`{"type":"cell","job":"j000001"}`),
+	}
+	for _, rec := range want {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appends, fsyncs, size := w.Stats()
+	if appends != 4 || fsyncs != 4 {
+		t.Errorf("stats: %d appends %d fsyncs, want 4/4", appends, fsyncs)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != size {
+		t.Errorf("Stats size %d != file size %d", size, fi.Size())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, torn := reopen(t, path)
+	if torn {
+		t.Error("clean journal reported torn")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d: got %d bytes, want %d", i, len(got[i]), len(want[i]))
+		}
+	}
+}
+
+// TestTornTailAtEveryOffset is the exhaustive crash matrix: a journal
+// of three records truncated at every possible byte length must replay
+// exactly the records whose frames fit entirely within the truncation
+// point — never a partial record, never a lost intact one.
+func TestTornTailAtEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full")
+	w, _, err := Open(full, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := [][]byte{[]byte("alpha"), []byte("bee"), []byte("this is the third record")}
+	var ends []int64 // cumulative frame end offsets
+	off := int64(0)
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		off += int64(headerSize + len(r))
+		ends = append(ends, off)
+	}
+	w.Close()
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(raw); cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut%d", cut))
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wantN := 0
+		for _, end := range ends {
+			if int64(cut) >= end {
+				wantN++
+			}
+		}
+		got, torn := reopen(t, path)
+		if len(got) != wantN {
+			t.Fatalf("cut at %d: replayed %d records, want %d", cut, len(got), wantN)
+		}
+		// torn iff bytes remain beyond the last intact frame.
+		expectTorn := (wantN == 0 && cut > 0) || (wantN > 0 && int64(cut) > ends[wantN-1])
+		if torn != expectTorn {
+			t.Fatalf("cut at %d: torn=%v, want %v", cut, torn, expectTorn)
+		}
+	}
+}
+
+// TestCorruptTailDiscarded flips one payload byte of the final record:
+// replay must keep the earlier records and drop the corrupt tail.
+func TestCorruptTailDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	w, _, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"one", "two", "three"} {
+		if err := w.Append([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, torn := reopen(t, path)
+	if !torn || len(got) != 2 {
+		t.Fatalf("corrupt tail: %d records, torn=%v; want 2, true", len(got), torn)
+	}
+}
+
+// tornFile simulates a crash mid-append inside the write path: it
+// persists only the first budget bytes of all traffic, then fails —
+// the "write-truncating wrapper" the crash-injection harness uses.
+type tornFile struct {
+	f       *os.File
+	budget  int
+	crashed bool
+}
+
+var errCrashed = errors.New("injected crash")
+
+func (tf *tornFile) Write(p []byte) (int, error) {
+	if tf.crashed {
+		return 0, errCrashed
+	}
+	n := len(p)
+	if n > tf.budget {
+		n = tf.budget
+		tf.crashed = true
+	}
+	tf.budget -= n
+	if m, err := tf.f.Write(p[:n]); err != nil {
+		return m, err
+	}
+	if tf.crashed {
+		return n, errCrashed
+	}
+	return n, nil
+}
+
+func (tf *tornFile) Sync() error {
+	if tf.crashed {
+		return errCrashed
+	}
+	return tf.f.Sync()
+}
+
+// TestCrashMidAppendRecovers drives the writer through the truncating
+// wrapper for every crash offset within the third record's frame, then
+// reopens via Open: the two durable records must survive, the torn tail
+// must be truncated away, and the journal must accept appends again.
+func TestCrashMidAppendRecovers(t *testing.T) {
+	frame3 := headerSize + len("record-three")
+	for cut := 0; cut < frame3; cut++ {
+		path := filepath.Join(t.TempDir(), "j")
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		two := 2 * (headerSize + len("record-twoXX")) // both full frames
+		tf := &tornFile{f: f, budget: two + cut}
+		w := NewWriter(tf, 0)
+		if err := w.Append([]byte("record-oneXX")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append([]byte("record-twoXX")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append([]byte("record-three")); err == nil {
+			t.Fatalf("cut %d: torn append reported success", cut)
+		}
+		// The writer is sticky-dead after the crash.
+		if err := w.Append([]byte("after")); err == nil {
+			t.Fatalf("cut %d: append after crash succeeded", cut)
+		}
+		f.Close()
+
+		var recovered [][]byte
+		w2, torn, err := Open(path, func(p []byte) error {
+			recovered = append(recovered, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recovered) != 2 {
+			t.Fatalf("cut %d: recovered %d records, want 2", cut, len(recovered))
+		}
+		if cut > 0 && !torn {
+			t.Fatalf("cut %d: torn tail not reported", cut)
+		}
+		// The truncated journal must be appendable and replay cleanly.
+		if err := w2.Append([]byte("post-recovery")); err != nil {
+			t.Fatal(err)
+		}
+		w2.Close()
+		got, torn := reopen(t, path)
+		if torn || len(got) != 3 || string(got[2]) != "post-recovery" {
+			t.Fatalf("cut %d: post-recovery replay: %d records, torn=%v", cut, len(got), torn)
+		}
+	}
+}
+
+func TestOversizedLengthIsTorn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	w, _, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A garbage header claiming a multi-GB record.
+	if _, err := f.Write([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, torn := reopen(t, path)
+	if !torn || len(got) != 1 {
+		t.Fatalf("oversized length: %d records, torn=%v; want 1, true", len(got), torn)
+	}
+	if err := w.Append(bytes.Repeat([]byte("x"), maxRecord+1)); err == nil {
+		t.Error("oversized append accepted")
+	}
+}

@@ -11,6 +11,9 @@ import (
 // Handler returns the daemon's HTTP surface:
 //
 //	POST   /v1/jobs               submit a Spec        -> 202 View | 400 | 429 | 503
+//	                              (Idempotency-Key header or spec field:
+//	                              200 + the original View on a replayed
+//	                              key, 409 on a key/spec mismatch)
 //	GET    /v1/jobs               job index            -> 200 []IndexEntry
 //	                              (?limit=N keeps the N newest)
 //	GET    /v1/jobs/{id}          status + result      -> 200 View | 404
@@ -65,7 +68,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad job spec: trailing data after the JSON object"})
 		return
 	}
-	v, err := s.Submit(spec)
+	if key := r.Header.Get("Idempotency-Key"); key != "" {
+		spec.IdempotencyKey = key
+	}
+	v, existing, err := s.SubmitIdempotent(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		// Back off for about a job's service time; clients should retry
@@ -74,8 +80,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	case errors.Is(err, ErrIdempotencyConflict):
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+	case errors.Is(err, ErrJournal):
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 	case err != nil:
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	case existing:
+		// An idempotent replay: the job already exists (200, not 202).
+		w.Header().Set("Location", "/v1/jobs/"+v.ID)
+		writeJSON(w, http.StatusOK, v)
 	default:
 		w.Header().Set("Location", "/v1/jobs/"+v.ID)
 		writeJSON(w, http.StatusAccepted, v)

@@ -68,6 +68,13 @@ type Spec struct {
 	// This is the unit the fleet coordinator (internal/fleet) dispatches;
 	// Format is ignored for cell jobs.
 	Cell *experiments.CellID `json:"cell,omitempty"`
+	// IdempotencyKey, when non-empty, makes the submission at-most-once:
+	// resubmitting the same key with the same spec returns the original
+	// job instead of admitting a second one — across daemon restarts
+	// when a state dir is configured. The same key with a different spec
+	// is rejected. The Idempotency-Key request header, when present,
+	// overrides this field.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // validate rejects specs the worker could never execute.
@@ -91,6 +98,9 @@ func (sp Spec) validate() error {
 	}
 	if sp.Cell != nil && (sp.Cell.Phase < 0 || sp.Cell.Index < 0) {
 		return fmt.Errorf("serve: negative cell id %v", *sp.Cell)
+	}
+	if len(sp.IdempotencyKey) > 256 {
+		return fmt.Errorf("serve: idempotency key longer than 256 bytes")
 	}
 	return nil
 }
@@ -130,6 +140,16 @@ type job struct {
 	err      string
 	result   string
 	canceled bool // cancellation requested (DELETE or forced drain)
+	// drainCancel distinguishes forced-drain cancellations (not
+	// journaled terminal; the job re-admits at next boot) from client
+	// cancels (journaled; stays canceled).
+	drainCancel bool
+	// recovered marks jobs rebuilt from the journal at boot, with their
+	// original submission times.
+	recovered bool
+	// checkpoint holds the journaled per-cell payloads a recovered job
+	// resumes from; nil for fresh submissions. Read-only once set.
+	checkpoint map[experiments.CellID][]byte
 	// cancel interrupts the running replay; non-nil only while the job
 	// is running.
 	cancel func()
@@ -159,6 +179,9 @@ type IndexEntry struct {
 	// Cell is present for cell-granularity jobs (fleet shards).
 	Cell        *experiments.CellID `json:"cell,omitempty"`
 	SubmittedAt time.Time           `json:"submitted_at"`
+	// Recovered marks jobs restored from the journal after a restart;
+	// SubmittedAt is still the original submission time, not boot time.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // View is the JSON shape of a job returned by the API.
@@ -168,6 +191,8 @@ type View struct {
 	State  State  `json:"state"`
 	Error  string `json:"error,omitempty"`
 	Result string `json:"result,omitempty"`
+	// Recovered marks jobs restored from the journal after a restart.
+	Recovered bool `json:"recovered,omitempty"`
 
 	// Progress is present once the job has started: live while it
 	// runs, final once terminal.
@@ -209,6 +234,7 @@ func (j *job) view() View {
 		State:       j.state,
 		Error:       j.err,
 		Result:      j.result,
+		Recovered:   j.recovered,
 		SubmittedAt: j.submitted,
 	}
 	if !j.started.IsZero() {

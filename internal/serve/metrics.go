@@ -76,6 +76,46 @@ func (s *Server) initMetrics() {
 	s.streams = r.NewGauge("diskthru_progress_streams_active",
 		"Open NDJSON progress streams.")
 
+	// Durability families (serve_* per the crash-safety spec). They
+	// exist whether or not a state dir is configured, reading zero on a
+	// memory-only daemon, so dashboards need no conditional scrape.
+	r.NewCounterFunc("serve_jobs_recovered_total",
+		"Jobs restored from the journal at boot, by disposition: terminal jobs reappear with their results, resumed jobs re-run from their last completed cell.",
+		locked(func() float64 { return float64(s.recoveredTerminal) }), "disposition", "terminal")
+	r.NewCounterFunc("serve_jobs_recovered_total",
+		"Jobs restored from the journal at boot, by disposition: terminal jobs reappear with their results, resumed jobs re-run from their last completed cell.",
+		locked(func() float64 { return float64(s.recoveredResumed) }), "disposition", "resumed")
+	r.NewCounterFunc("serve_cells_replayed_total",
+		"Simulation cells restored by injecting journaled checkpoint payloads instead of re-running them.",
+		func() float64 { return float64(s.cellsReplayed.Load()) })
+	r.NewCounterFunc("serve_journal_appends_total",
+		"Records appended to the job journal.",
+		func() float64 {
+			if s.jnl == nil {
+				return 0
+			}
+			appends, _, _ := s.jnl.Stats()
+			return float64(appends)
+		})
+	r.NewCounterFunc("serve_journal_fsyncs_total",
+		"Fsyncs issued by the job journal (one per durable append).",
+		func() float64 {
+			if s.jnl == nil {
+				return 0
+			}
+			_, fsyncs, _ := s.jnl.Stats()
+			return float64(fsyncs)
+		})
+	r.NewGaugeFunc("serve_journal_bytes",
+		"Size of the job journal file in bytes.",
+		func() float64 {
+			if s.jnl == nil {
+				return 0
+			}
+			_, _, bytes := s.jnl.Stats()
+			return float64(bytes)
+		})
+
 	s.httpReqs = r.NewCounterVec("diskthru_http_requests_total",
 		"HTTP requests served, by method, route pattern and status code.",
 		"method", "route", "code")

@@ -16,6 +16,7 @@ package serve
 import (
 	"context"
 	"encoding/base64"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -24,18 +25,27 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"diskthru/internal/experiments"
+	"diskthru/internal/journal"
 	"diskthru/internal/metrics"
 	"diskthru/internal/probe"
 	"diskthru/internal/stats"
 )
 
-// Submission rejections. The HTTP layer maps these to 429 and 503.
+// Submission rejections. The HTTP layer maps these to 429, 503, 409
+// and 500 respectively.
 var (
 	ErrQueueFull = errors.New("serve: admission queue full")
 	ErrDraining  = errors.New("serve: server is draining, not admitting jobs")
+	// ErrIdempotencyConflict reports a submission reusing an
+	// idempotency key with a different spec than the original.
+	ErrIdempotencyConflict = errors.New("serve: idempotency key already used with a different spec")
+	// ErrJournal reports that the job journal could not make an
+	// admission durable; the job was not accepted.
+	ErrJournal = errors.New("serve: journal write failed")
 )
 
 // errJobTimeout marks deadline-expired jobs; their state is failed (the
@@ -59,9 +69,18 @@ type Config struct {
 	// beyond it are clamped, and jobs without any timeout get this one.
 	MaxTimeout time.Duration
 	// Runner executes one job, reporting into prog (never nil) as it
-	// goes. Nil means the real experiments-backed runner; tests inject
-	// controllable stand-ins.
-	Runner func(ctx context.Context, spec Spec, prog *probe.Progress) (string, error)
+	// goes. ck carries the job's journaled checkpoint — nil when the
+	// daemon has no state dir — and may be ignored by runners that do
+	// not checkpoint. Nil means the real experiments-backed runner;
+	// tests inject controllable stand-ins.
+	Runner func(ctx context.Context, spec Spec, prog *probe.Progress, ck *Checkpoint) (string, error)
+	// StateDir, when set, makes the daemon crash-safe: every job
+	// admission, state transition and completed simulation cell is
+	// appended to an fsync'd journal under this directory, and New
+	// replays it at boot — terminal jobs reappear with their results,
+	// unfinished jobs re-run from their last completed cell (see
+	// durable.go). Empty keeps the daemon memory-only.
+	StateDir string
 	// Logger, when non-nil, receives one structured record per job
 	// lifecycle transition, each carrying at least the job id. Nil
 	// discards logs.
@@ -80,11 +99,23 @@ type Server struct {
 	order    []string // submission order, for listing
 	seq      int
 	draining bool
+	// idem maps idempotency keys to job ids — populated by submissions
+	// and journal recovery, so a retried POST is at-most-once even
+	// across a crash.
+	idem map[string]string
 
 	// Lifecycle counters (under mu). running counts jobs between their
-	// queued->running and running->terminal transitions.
+	// queued->running and running->terminal transitions. The lifecycle
+	// counters are since-boot; recovered jobs count only in the
+	// recovered* pair.
 	submitted, rejectedFull, rejectedDraining int
 	running, done, failed, canceled           int
+	recoveredTerminal, recoveredResumed       int
+
+	// jnl is the job journal (nil without StateDir); cellsReplayed
+	// counts cells restored from it instead of re-run.
+	jnl           *journal.Writer
+	cellsReplayed atomic.Int64
 	// perExp summarizes wall-clock seconds of completed (done) jobs.
 	perExp map[string]*stats.Summary
 
@@ -102,8 +133,10 @@ type Server struct {
 	wg sync.WaitGroup
 }
 
-// New builds the server and starts its workers.
-func New(cfg Config) *Server {
+// New builds the server and starts its workers. With Config.StateDir
+// set, it first replays the job journal — the only error path — and
+// re-admits every unfinished job before admitting new ones.
+func New(cfg Config) (*Server, error) {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 64
 	}
@@ -119,23 +152,45 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:    cfg,
-		queue:  make(chan *job, cfg.QueueCap),
 		log:    logger,
 		jobs:   make(map[string]*job),
+		idem:   make(map[string]string),
 		perExp: make(map[string]*stats.Summary),
+	}
+	var pending []*job
+	if cfg.StateDir != "" {
+		var err error
+		if pending, err = s.recover(cfg.StateDir); err != nil {
+			return nil, fmt.Errorf("serve: recovering state from %s: %w", cfg.StateDir, err)
+		}
+	}
+	// The channel may need to hold more than QueueCap recovered jobs;
+	// admission still enforces QueueCap (Submit checks depth, not
+	// channel capacity).
+	qcap := cfg.QueueCap
+	if len(pending) > qcap {
+		qcap = len(pending)
+	}
+	s.queue = make(chan *job, qcap)
+	for _, j := range pending {
+		s.queue <- j
 	}
 	s.initMetrics()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // runSpec is the production runner: the same registry, options and
 // rendering the CLI uses, so a job's result is byte-identical to
-// `diskthru -experiment <name>` at the same scale and seed.
-func runSpec(ctx context.Context, sp Spec, prog *probe.Progress) (string, error) {
+// `diskthru -experiment <name>` at the same scale and seed. With a
+// checkpoint (journal-enabled daemon), the experiment is driven cell by
+// cell through experiments.RunWithCellExec so completed cells persist
+// as they finish and journaled ones are injected instead of re-run —
+// the cell decomposition is proven byte-identical to a plain run.
+func runSpec(ctx context.Context, sp Spec, prog *probe.Progress, ck *Checkpoint) (string, error) {
 	o := sp.options()
 	o.Ctx = ctx
 	o.Progress = prog
@@ -144,13 +199,24 @@ func runSpec(ctx context.Context, sp Spec, prog *probe.Progress) (string, error)
 		// slot, base64 so it survives the JSON job view. The coordinator
 		// that submitted it decodes and injects it into its own driver
 		// invocation; it is not human-readable on purpose.
+		if payload, ok := ck.lookup(*sp.Cell); ok {
+			ck.replayed()
+			return base64.StdEncoding.EncodeToString(payload), nil
+		}
 		payload, err := experiments.RunCell(sp.Experiment, o, *sp.Cell)
 		if err != nil {
 			return "", err
 		}
+		ck.recordCell(*sp.Cell, payload)
 		return base64.StdEncoding.EncodeToString(payload), nil
 	}
-	t, err := experiments.Run(sp.Experiment, o)
+	var t *experiments.Table
+	var err error
+	if ck != nil {
+		t, err = experiments.RunWithCellExec(sp.Experiment, o, ck.exec)
+	} else {
+		t, err = experiments.Run(sp.Experiment, o)
+	}
 	if err != nil {
 		return "", err
 	}
@@ -167,16 +233,46 @@ func runSpec(ctx context.Context, sp Spec, prog *probe.Progress) (string, error)
 
 // Submit validates and enqueues one job, returning its queued view.
 // ErrQueueFull and ErrDraining report backpressure; other errors are
-// bad specs.
+// bad specs. A spec reusing a known idempotency key returns the
+// original job's view (use SubmitIdempotent to distinguish a replay).
 func (s *Server) Submit(spec Spec) (View, error) {
+	v, _, err := s.SubmitIdempotent(spec)
+	return v, err
+}
+
+// SubmitIdempotent is Submit plus the replay signal: existing is true
+// when spec's idempotency key matched a previous submission and v is
+// that original job, making client retries at-most-once — across
+// daemon restarts when a state dir is configured, since keys are
+// journaled with the submit record. The same key with a different spec
+// fails with ErrIdempotencyConflict.
+func (s *Server) SubmitIdempotent(spec Spec) (v View, existing bool, err error) {
 	if err := spec.validate(); err != nil {
-		return View{}, err
+		return View{}, false, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if key := spec.IdempotencyKey; key != "" {
+		if id, ok := s.idem[key]; ok {
+			prev := s.jobs[id]
+			if !specEqual(prev.spec, spec) {
+				return View{}, false, fmt.Errorf("%w (key %q is %s)", ErrIdempotencyConflict, key, id)
+			}
+			prev.log.Info("idempotent replay of submission", "key", key)
+			return prev.view(), true, nil
+		}
+	}
 	if s.draining {
 		s.rejectedDraining++
-		return View{}, ErrDraining
+		return View{}, false, ErrDraining
+	}
+	// Admission capacity is checked against the configured cap, not the
+	// channel's (recovery may have grown the channel), and before the
+	// journal write so a rejected job is never journaled. Only workers
+	// drain the queue, so depth cannot rise between here and the send.
+	if len(s.queue) >= s.cfg.QueueCap {
+		s.rejectedFull++
+		return View{}, false, ErrQueueFull
 	}
 	s.seq++
 	j := &job{
@@ -187,21 +283,34 @@ func (s *Server) Submit(spec Spec) (View, error) {
 		progress:  probe.NewProgress(),
 	}
 	j.log = s.log.With("job", j.id, "experiment", spec.Experiment)
+	if err := s.appendRecord(record{
+		Type: "submit", Job: j.id, Spec: &j.spec, SubmittedAt: j.submitted,
+	}); err != nil {
+		// Not durable means not accepted: the client will retry and
+		// must not end up with two jobs.
+		s.seq--
+		return View{}, false, fmt.Errorf("%w: %v", ErrJournal, err)
+	}
 	// The queue send stays under mu: admission and Drain's close of the
 	// channel serialize on the same lock, so a send can never hit a
-	// closed queue, and a full buffered channel fails over to default
-	// without blocking.
-	select {
-	case s.queue <- j:
-	default:
-		s.rejectedFull++
-		return View{}, ErrQueueFull
-	}
+	// closed queue, and the depth check above keeps it from blocking.
+	s.queue <- j
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.submitted++
+	if key := spec.IdempotencyKey; key != "" {
+		s.idem[key] = j.id
+	}
 	j.log.Info("job queued", "queue_depth", len(s.queue))
-	return j.view(), nil
+	return j.view(), false, nil
+}
+
+// specEqual compares two specs by their canonical JSON — the identity
+// idempotency keys are scoped to.
+func specEqual(a, b Spec) bool {
+	ja, erra := json.Marshal(a)
+	jb, errb := json.Marshal(b)
+	return erra == nil && errb == nil && string(ja) == string(jb)
 }
 
 // Get returns one job's view.
@@ -247,6 +356,7 @@ func (s *Server) Index(limit int) []IndexEntry {
 			Experiment:  j.spec.Experiment,
 			Cell:        j.spec.Cell,
 			SubmittedAt: j.submitted,
+			Recovered:   j.recovered,
 		})
 	}
 	return out
@@ -264,23 +374,32 @@ func (s *Server) Cancel(id string) (View, bool) {
 	if !ok {
 		return View{}, false
 	}
-	s.cancelLocked(j)
+	s.cancelLocked(j, false)
 	return j.view(), true
 }
 
-// cancelLocked implements Cancel under mu.
-func (s *Server) cancelLocked(j *job) {
+// cancelLocked implements Cancel under mu. drain marks forced-drain
+// cancellations, which are deliberately NOT journaled as terminal: on a
+// journal-enabled daemon a drained job is unfinished-but-durable and
+// re-admits at the next boot, whereas a client cancel was answered and
+// must stay canceled across restarts.
+func (s *Server) cancelLocked(j *job, drain bool) {
 	if j.state.terminal() || j.canceled {
 		return
 	}
 	j.canceled = true
+	j.drainCancel = drain
 	switch j.state {
 	case StateQueued:
 		// Resolved lazily by the worker that dequeues it; mark it
 		// terminal now so clients see the final state immediately.
 		j.state = StateCanceled
 		j.finished = time.Now()
+		j.err = "canceled while queued"
 		s.canceled++
+		if !drain {
+			_ = s.appendRecord(record{Type: "canceled", Job: j.id, At: j.finished, Error: j.err})
+		}
 		j.log.Info("job canceled while queued")
 	case StateRunning:
 		j.cancel()
@@ -321,10 +440,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	// Forced drain: cancel everything still alive, then wait for the
 	// workers, which is now prompt — replays notice within a few
-	// thousand events and queued jobs resolve on dequeue.
+	// thousand events and queued jobs resolve on dequeue. With a
+	// journal these cancellations are not terminal records, so the
+	// jobs re-admit on the next boot.
 	s.mu.Lock()
 	for _, id := range s.order {
-		s.cancelLocked(s.jobs[id])
+		s.cancelLocked(s.jobs[id], true)
 	}
 	s.mu.Unlock()
 	<-done
@@ -353,11 +474,16 @@ func (s *Server) execute(j *job) {
 	j.started = time.Now()
 	s.running++
 	s.mu.Unlock()
+	_ = s.appendRecord(record{Type: "start", Job: j.id, At: j.started})
 	s.queueWait.Observe(j.started.Sub(j.submitted).Seconds())
 	j.log.Info("job running", "timeout", timeout.String(),
 		"queue_wait_seconds", j.started.Sub(j.submitted).Seconds())
 
-	result, err := s.runJob(ctx, j)
+	var ck *Checkpoint
+	if s.jnl != nil {
+		ck = &Checkpoint{s: s, j: j, have: j.checkpoint}
+	}
+	result, err := s.runJob(ctx, j, ck)
 	if err == nil && ctx.Err() == context.DeadlineExceeded {
 		// The runner finished its current cell after the deadline but
 		// before the poll; the job still missed its deadline.
@@ -384,11 +510,15 @@ func (s *Server) execute(j *job) {
 		}
 		sum.Observe(wall)
 		s.jobDur.With(j.spec.Experiment).Observe(wall)
+		_ = s.appendRecord(record{Type: "done", Job: j.id, At: j.finished, Result: result})
 		j.log.Info("job done", "seconds", wall)
 	case j.canceled && !errors.Is(err, context.DeadlineExceeded):
 		j.state = StateCanceled
 		j.err = err.Error()
 		s.canceled++
+		if !j.drainCancel {
+			_ = s.appendRecord(record{Type: "canceled", Job: j.id, At: j.finished, Error: j.err})
+		}
 		j.log.Info("job canceled mid-run", "seconds", wall)
 	default:
 		j.state = StateFailed
@@ -397,6 +527,9 @@ func (s *Server) execute(j *job) {
 		}
 		j.err = err.Error()
 		s.failed++
+		// Deadline expiry journals as failed too: the job was answered
+		// ("missed its deadline"), so a restart must not resurrect it.
+		_ = s.appendRecord(record{Type: "failed", Job: j.id, At: j.finished, Error: j.err})
 		j.log.Error("job failed", "error", err.Error(), "seconds", wall)
 	}
 }
@@ -405,14 +538,14 @@ func (s *Server) execute(j *job) {
 // marks its job failed instead of unwinding through the worker and
 // killing the daemon. The stack goes to the log, the panic value to the
 // job's error.
-func (s *Server) runJob(ctx context.Context, j *job) (result string, err error) {
+func (s *Server) runJob(ctx context.Context, j *job, ck *Checkpoint) (result string, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("job panicked: %v", r)
 			j.log.Error("job panic", "panic", fmt.Sprint(r), "stack", string(debug.Stack()))
 		}
 	}()
-	return s.cfg.Runner(ctx, j.spec, j.progress)
+	return s.cfg.Runner(ctx, j.spec, j.progress, ck)
 }
 
 // jobContext builds the per-job context: cancellable always, with a

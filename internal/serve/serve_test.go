@@ -25,7 +25,10 @@ type harness struct {
 
 func newHarness(t *testing.T, cfg Config) *harness {
 	t.Helper()
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	t.Cleanup(func() {
@@ -39,9 +42,9 @@ func newHarness(t *testing.T, cfg Config) *harness {
 // blockingRunner returns a runner that parks until its context fires or
 // release is closed, plus the release function. started receives one
 // value per invocation.
-func blockingRunner(started chan<- string) (func(ctx context.Context, sp Spec, prog *probe.Progress) (string, error), func()) {
+func blockingRunner(started chan<- string) (func(ctx context.Context, sp Spec, prog *probe.Progress, ck *Checkpoint) (string, error), func()) {
 	release := make(chan struct{})
-	run := func(ctx context.Context, sp Spec, prog *probe.Progress) (string, error) {
+	run := func(ctx context.Context, sp Spec, prog *probe.Progress, ck *Checkpoint) (string, error) {
 		if started != nil {
 			started <- sp.Experiment
 		}

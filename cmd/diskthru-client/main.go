@@ -6,13 +6,13 @@
 //
 //	diskthru-client [-addr http://127.0.0.1:7070] <command> [args]
 //
-//	submit -experiment fig1 [-quick] [-j N] [-seed S] [-timeout 30s] [-format csv] [-key K]
+//	submit -experiment fig1 [-quick] [-j N] [-seed S] [-timeout 30s] [-format csv] [-key K] [-cell P:I]
 //	status <job-id>          print the job's JSON view
 //	result <job-id>          print a finished job's rendered result
 //	wait   <job-id>          poll until terminal; print the result
 //	run    -experiment ...   submit + wait in one step
 //	cancel <job-id>          request cancellation
-//	list [-limit N]          list jobs, oldest first (id, state, experiment, submitted)
+//	list [-limit N] [-state S]  list jobs, oldest first (id, state, experiment, submitted)
 //	metrics                  dump the daemon's /metrics text
 //
 // A 429 from the daemon's bounded admission queue is not an error: the
@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"time"
 
@@ -80,10 +81,18 @@ func main() {
 	case "list":
 		fs := flag.NewFlagSet("list", flag.ExitOnError)
 		limit := fs.Int("limit", 0, "return only the newest N jobs (0 = all)")
+		state := fs.String("state", "", "return only jobs in this state: queued|running|done|failed|canceled (empty = all)")
 		_ = fs.Parse(args)
-		path := "/v1/jobs"
+		q := url.Values{}
 		if *limit > 0 {
-			path = fmt.Sprintf("%s?limit=%d", path, *limit)
+			q.Set("limit", fmt.Sprint(*limit))
+		}
+		if *state != "" {
+			q.Set("state", *state)
+		}
+		path := "/v1/jobs"
+		if len(q) > 0 {
+			path += "?" + q.Encode()
 		}
 		var entries []struct {
 			ID          string    `json:"id"`
@@ -181,6 +190,8 @@ func (c client) submit(args []string) view {
 		timeout    = fs.Duration("timeout", 0, "job deadline (0 = server default)")
 		format     = fs.String("format", "", "result format: text | csv")
 		key        = fs.String("key", "", "idempotency key; resubmitting the same key admits at most one job (empty = auto-generated)")
+		cell       = fs.String("cell", "", "run a single decomposition cell, as phase:index (e.g. 0:2); the result is the cell's opaque payload in base64")
+		synReqs    = fs.Int("syn-requests", 0, "override synthetic trace length (0 = scale default)")
 	)
 	_ = fs.Parse(args)
 	if *experiment == "" {
@@ -207,6 +218,16 @@ func (c client) submit(args []string) view {
 	}
 	if *format != "" {
 		spec["format"] = *format
+	}
+	if *cell != "" {
+		var phase, index int
+		if n, err := fmt.Sscanf(*cell, "%d:%d", &phase, &index); err != nil || n != 2 {
+			fail("diskthru-client: bad -cell %q (want phase:index, e.g. 0:2)", *cell)
+		}
+		spec["cell"] = map[string]int{"phase": phase, "index": index}
+	}
+	if *synReqs > 0 {
+		spec["syn_requests"] = *synReqs
 	}
 	body, _ := json.Marshal(spec)
 	return c.post(body)

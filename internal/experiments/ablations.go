@@ -36,13 +36,13 @@ func AblationFOREviction(o Options) (*Table, error) {
 	}
 	for _, alpha := range []float64{0.001, 0.4, 0.8, 1.0} {
 		alpha := alpha
-		wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, alpha, 0) })
+		wr := newWorkload(o, func() (*diskthru.Workload, error) { return synWorkload(o, 16, alpha, 0) })
 		addRow(trimAlpha(alpha), wr, baseConfig())
 	}
 	// Shared sequential streaming is where the policies diverge: MRU's
 	// stream protection starves trailing readers of a shared file, while
 	// LRU preserves the paper's "at least as good as Segm" guarantee.
-	media := newWorkload(func() (*diskthru.Workload, error) { return diskthru.MediaWorkload(o.WebScale) })
+	media := newWorkload(o, func() (*diskthru.Workload, error) { return diskthru.MediaWorkload(o.WebScale) })
 	addRow("media", media, diskthru.DefaultConfig())
 	if err := r.wait(); err != nil {
 		return nil, err
@@ -60,7 +60,7 @@ func AblationScheduler(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	wr := newWorkload(func() (*diskthru.Workload, error) { return diskthru.WebWorkload(o.WebScale) })
+	wr := newWorkload(o, func() (*diskthru.Workload, error) { return diskthru.WebWorkload(o.WebScale) })
 	t := &Table{
 		ID:      "ablation-scheduler",
 		Title:   "Queue discipline on the Web workload: I/O time (s)",
@@ -102,7 +102,7 @@ func AblationCoalescing(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
+	wr := newWorkload(o, func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
 	t := &Table{
 		ID:      "ablation-coalescing",
 		Title:   "Coalescing probability on 16-KB synthetic: I/O time (s)",
@@ -137,7 +137,7 @@ func AblationHDCPlanner(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	wr := newWorkload(func() (*diskthru.Workload, error) { return diskthru.WebWorkload(o.WebScale) })
+	wr := newWorkload(o, func() (*diskthru.Workload, error) { return diskthru.WebWorkload(o.WebScale) })
 	t := &Table{
 		ID:      "ablation-hdc-planner",
 		Title:   "HDC planner on the Web workload (stripe=16KB, HDC=2MB)",
@@ -170,7 +170,7 @@ func AblationSegmentGeometry(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
+	wr := newWorkload(o, func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
 	t := &Table{
 		ID:      "ablation-segment-geometry",
 		Title:   "Segment geometry on 16-KB synthetic: I/O time (s)",

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"diskthru"
 )
@@ -63,6 +64,18 @@ type cellSession struct {
 	target  *CellID
 	payload []byte
 	exec    CellExec
+	// prior maps earlier-phase cells to payloads a previous execution
+	// already produced (RunCellWarm): instead of re-simulating those
+	// phases to reconstruct the plan the target phase depends on, the
+	// runner injects them — the same decode path RunWithCellExec uses,
+	// so the plan is byte-identical by construction. Read-only during
+	// the run.
+	prior map[CellID][]byte
+	// injected and simulated count earlier-phase slot cells filled from
+	// prior versus locally re-simulated — the daemon's redundancy
+	// metrics. Atomics: earlier phases run on the worker pool.
+	injected  atomic.Int64
+	simulated atomic.Int64
 }
 
 // nextPhase hands out phase ordinals in wait-call order. Drivers call
@@ -144,25 +157,62 @@ func decodeSlot(payload []byte, slot any) error {
 // to the inject callback of a RunWithCellExec dispatch of the same
 // (name, o, id) to reproduce a local run bit for bit.
 func RunCell(name string, o Options, id CellID) ([]byte, error) {
+	res, err := RunCellWarm(name, o, id, nil)
+	return res.Payload, err
+}
+
+// CellRun is RunCellWarm's result: the target cell's payload plus the
+// earlier-phase accounting warm-start callers gate on.
+type CellRun struct {
+	// Payload is the target cell's encoded result slot.
+	Payload []byte
+	// PhaseCellsInjected counts earlier-phase slot cells filled from
+	// prior payloads instead of being re-simulated.
+	PhaseCellsInjected int
+	// PhaseCellsSimulated counts earlier-phase slot cells that ran
+	// locally — the redundant work warm starts exist to eliminate. A
+	// coordinator holding every earlier-phase payload should see zero.
+	PhaseCellsSimulated int
+}
+
+// RunCellWarm is RunCell with warm starts: prior maps earlier-phase
+// cells to payloads previously produced by RunCell for the same (name,
+// o) pair — the fleet coordinator holds every one it has accepted —
+// and the runner injects them instead of re-simulating those phases.
+// Injection uses the exact decode path a local RunWithCellExec uses,
+// so the target phase's plan, and therefore the returned payload, is
+// byte-identical to a cold run. Cells missing from prior (or bare
+// computations, which carry no payload) still run locally.
+func RunCellWarm(name string, o Options, id CellID, prior map[CellID][]byte) (CellRun, error) {
 	fn, err := Lookup(name)
 	if err != nil {
-		return nil, err
+		return CellRun{}, err
 	}
 	if id.Phase < 0 || id.Index < 0 {
-		return nil, fmt.Errorf("experiments: negative cell id %v", id)
+		return CellRun{}, fmt.Errorf("experiments: negative cell id %v", id)
 	}
-	sess := &cellSession{target: &id}
+	for pid := range prior {
+		if pid.Phase >= id.Phase || pid.Phase < 0 || pid.Index < 0 {
+			return CellRun{}, fmt.Errorf("experiments: prior payload for %v cannot warm-start cell %v", pid, id)
+		}
+	}
+	o.initWarm(name)
+	sess := &cellSession{target: &id, prior: prior}
 	o.cells = sess
 	_, err = fn(o)
 	switch {
 	case errors.Is(err, errCellCaptured):
-		return sess.payload, nil
+		return CellRun{
+			Payload:             sess.payload,
+			PhaseCellsInjected:  int(sess.injected.Load()),
+			PhaseCellsSimulated: int(sess.simulated.Load()),
+		}, nil
 	case err != nil:
-		return nil, err
+		return CellRun{}, err
 	default:
 		// The driver finished every phase without reaching the target:
 		// the id names a phase or index the decomposition does not have.
-		return nil, fmt.Errorf("experiments: %s has no cell %v", name, id)
+		return CellRun{}, fmt.Errorf("experiments: %s has no cell %v", name, id)
 	}
 }
 
@@ -182,6 +232,7 @@ func RunWithCellExec(name string, o Options, exec CellExec) (*Table, error) {
 	if exec == nil {
 		return nil, fmt.Errorf("experiments: nil CellExec")
 	}
+	o.initWarm(name)
 	o.cells = &cellSession{exec: exec}
 	return fn(o)
 }

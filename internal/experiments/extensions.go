@@ -19,7 +19,7 @@ func ExtRAID1(o Options) (*Table, error) {
 	}
 	// The mirrored configurations halve usable capacity, so this
 	// workload lays out on a 4-disk volume.
-	wr := newWorkload(func() (*diskthru.Workload, error) {
+	wr := newWorkload(o, func() (*diskthru.Workload, error) {
 		return diskthru.SyntheticWorkload(diskthru.SyntheticOptions{
 			FileKB:        16,
 			Requests:      o.SynRequests,
@@ -70,7 +70,7 @@ func ExtSyncCost(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.8, 0.3) })
+	wr := newWorkload(o, func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.8, 0.3) })
 	t := &Table{
 		ID:      "ext-sync",
 		Title:   "Periodic flush_hdc cost (16-KB files, alpha=0.8, 30% writes, HDC=2MB)",
@@ -107,7 +107,7 @@ func ExtIssueMode(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
+	wr := newWorkload(o, func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
 	t := &Table{
 		ID:      "ext-issue",
 		Title:   "FOR vs Segm under batched and sequential dispatch (16-KB files)",
@@ -175,7 +175,7 @@ func Validation(o Options) (*Table, error) {
 	cells := make([]*diskthru.Result, len(benches))
 	for i, bench := range benches {
 		bench := bench
-		wr := newWorkload(func() (*diskthru.Workload, error) {
+		wr := newWorkload(o, func() (*diskthru.Workload, error) {
 			return diskthru.SyntheticWorkload(diskthru.SyntheticOptions{
 				FileKB:        bench.blocks * 4,
 				Requests:      2000,
@@ -249,7 +249,7 @@ func ExtServers(o Options) (*Table, error) {
 	r := newRunner(o)
 	rows := make([][]*diskthru.Result, len(builders))
 	for i, b := range builders {
-		wr := newWorkload(b.build)
+		wr := newWorkload(o, b.build)
 		rows[i] = r.compare(wr, diskthru.DefaultConfig(),
 			[]diskthru.System{diskthru.Segm, diskthru.FOR})
 	}
@@ -272,7 +272,7 @@ func ExtZoned(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
+	wr := newWorkload(o, func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
 	t := &Table{
 		ID:      "ext-zoned",
 		Title:   "Uniform vs zoned-bit-recording geometry (16-KB files)",
@@ -311,7 +311,7 @@ func ExtVictim(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	wr := newWorkload(func() (*diskthru.Workload, error) { return diskthru.WebWorkload(o.WebScale) })
+	wr := newWorkload(o, func() (*diskthru.Workload, error) { return diskthru.WebWorkload(o.WebScale) })
 	t := &Table{
 		ID:      "ext-victim",
 		Title:   "HDC as a victim cache (Web workload, live replay, stripe=16KB)",
@@ -363,7 +363,7 @@ func ExtLatency(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
+	wr := newWorkload(o, func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
 	t := &Table{
 		ID:      "ext-latency",
 		Title:   "Open-loop response time (ms) vs arrival rate (16-KB records)",
@@ -403,7 +403,7 @@ func ExtDegraded(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	wr := newWorkload(func() (*diskthru.Workload, error) {
+	wr := newWorkload(o, func() (*diskthru.Workload, error) {
 		return diskthru.SyntheticWorkload(diskthru.SyntheticOptions{
 			FileKB:       16,
 			Requests:     o.SynRequests,
@@ -462,7 +462,7 @@ func ModelVsSim(o Options) (*Table, error) {
 	// FOR speedup bound (per-op service-time ratio, no cache effects):
 	// measured under single-outstanding-op conditions so queueing and
 	// reuse cannot interfere.
-	wr := newWorkload(func() (*diskthru.Workload, error) {
+	wr := newWorkload(o, func() (*diskthru.Workload, error) {
 		return diskthru.SyntheticWorkload(diskthru.SyntheticOptions{
 			FileKB:    16,
 			Requests:  2000,

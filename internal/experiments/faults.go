@@ -19,7 +19,7 @@ func Faults(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.8, 0) })
+	wr := newWorkload(o, func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.8, 0) })
 	t := &Table{
 		ID:      "faults",
 		Title:   "Transient media errors: I/O time (s) vs error rate (16-KB files, alpha=0.8)",
@@ -102,7 +102,7 @@ func Degraded(o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.8, 0) })
+	wr := newWorkload(o, func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.8, 0) })
 	t := &Table{
 		ID:      "degraded",
 		Title:   "Disk death mid-run: healthy vs degraded I/O time (s) (16-KB files, alpha=0.8, read-only)",

@@ -25,7 +25,7 @@ func LongRun(o Options) (*Table, error) {
 	// Size the stream at ~2x the synthetic trace length: enough arrivals
 	// for stable tail percentiles at every supported option scale.
 	hours := float64(2*o.SynRequests) / (longRunRate * 3600)
-	wr := newWorkload(func() (*diskthru.Workload, error) {
+	wr := newWorkload(o, func() (*diskthru.Workload, error) {
 		return diskthru.LongRunWorkload(diskthru.LongRunOptions{
 			Hours:         hours,
 			RatePerSecond: longRunRate,

@@ -51,11 +51,38 @@ type Options struct {
 	// job daemon attaches one per job; cmd/diskthru's -progress flag
 	// attaches one per experiment.
 	Progress *probe.Progress
+	// WorkloadCache, when non-nil, lets this invocation reuse workloads
+	// built by earlier invocations of the same (experiment, Options)
+	// pair instead of regenerating them — layout allocation and trace
+	// synthesis are a large share of a small cell job's cost. Keys are
+	// deterministic (see warm.go); the built values are read-only during
+	// replay, so sharing never perturbs results. The job daemon wires
+	// its LRU cache through this field; nil (default) builds from
+	// scratch, exactly as before.
+	WorkloadCache WorkloadCache
+	// SnapshotEvery, with OnSnapshot, arms intra-cell checkpointing for
+	// the RunCell target cell: the replay engine emits an encoded
+	// snapshot.State roughly every this many simulation events (see
+	// diskthru.Config.SnapshotEvery). Pure observer — cell payloads are
+	// byte-identical with snapshots on or off.
+	SnapshotEvery uint64
+	// OnSnapshot receives each checkpoint of the target cell. The job
+	// daemon journals them so a SIGKILLed long cell resumes mid-flight.
+	OnSnapshot func(id CellID, state []byte)
+	// ResumeSnapshot, when non-nil, is consulted once for the RunCell
+	// target cell; a non-nil return is an encoded checkpoint the replay
+	// fast-forwards to and verifies bit-for-bit before continuing (see
+	// diskthru.Config.Resume). Return nil to run the cell cold.
+	ResumeSnapshot func(id CellID) []byte
 	// cells carries the cell-granularity execution session installed by
 	// RunCell / RunWithCellExec (see cell.go); nil for ordinary runs.
 	// Unexported on purpose: the only safe producers are in this
 	// package.
 	cells *cellSession
+	// warm scopes the WorkloadCache keys of one invocation; stamped by
+	// the entry points via initWarm (Options does not know the
+	// experiment name).
+	warm *warmState
 }
 
 // parallelism resolves the worker-pool width.

@@ -85,5 +85,6 @@ func Run(name string, o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	o.initWarm(name)
 	return fn(o)
 }

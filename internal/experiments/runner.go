@@ -31,6 +31,17 @@ type runner struct {
 	stream bool            // Options.StreamStats, threaded into every cell
 	sess   *cellSession    // nil outside RunCell / RunWithCellExec
 	cells  []cellEntry
+
+	// Intra-cell snapshot hooks (Options.SnapshotEvery / OnSnapshot /
+	// ResumeSnapshot), armed only for the RunCell target cell: capture
+	// sets snapID just before executing it — serially, on the driver
+	// goroutine, after every earlier phase's pool has drained — and the
+	// cell closures read it at execution time. Never armed for earlier
+	// phases or plain runs.
+	snapEvery  uint64
+	onSnap     func(CellID, []byte)
+	resumeSnap func(CellID) []byte
+	snapID     *CellID
 }
 
 // cellEntry is one cell plus the metadata remote execution needs: the
@@ -47,7 +58,8 @@ func newRunner(o Options) *runner {
 		ctx = context.Background()
 	}
 	return &runner{par: o.parallelism(), ctx: ctx, prog: o.Progress,
-		stream: o.StreamStats, sess: o.cells}
+		stream: o.StreamStats, sess: o.cells,
+		snapEvery: o.SnapshotEvery, onSnap: o.OnSnapshot, resumeSnap: o.ResumeSnapshot}
 }
 
 // add appends one bare-computation cell. Cells must not read other
@@ -73,7 +85,25 @@ type workloadRef struct {
 	err   error
 }
 
-func newWorkload(build func() (*diskthru.Workload, error)) *workloadRef {
+// newWorkload registers one workload-construction site. Under a warm
+// session (Options.WorkloadCache) the build is wrapped to consult the
+// cache first, keyed by the invocation scope plus this call site's
+// registration ordinal; see warm.go for why that key is deterministic.
+func newWorkload(o Options, build func() (*diskthru.Workload, error)) *workloadRef {
+	if ws := o.warm; ws != nil {
+		key := ws.nextKey()
+		inner := build
+		build = func() (*diskthru.Workload, error) {
+			if w, ok := ws.cache.Get(key); ok {
+				return w, nil
+			}
+			w, err := inner()
+			if err == nil {
+				ws.cache.Add(key, w)
+			}
+			return w, err
+		}
+	}
 	return &workloadRef{build: build}
 }
 
@@ -93,6 +123,7 @@ func (r *runner) run(wr *workloadRef, cfg diskthru.Config) *diskthru.Result {
 		}
 		cfg.Progress = r.prog
 		cfg.StreamStats = cfg.StreamStats || r.stream
+		r.armSnapshots(&cfg)
 		v, err := diskthru.RunContext(r.ctx, w, cfg)
 		if err != nil {
 			return err
@@ -101,6 +132,24 @@ func (r *runner) run(wr *workloadRef, cfg diskthru.Config) *diskthru.Result {
 		return nil
 	}, res)
 	return res
+}
+
+// armSnapshots wires the session's intra-cell snapshot hooks into one
+// cell's replay config. A no-op unless capture armed this cell as the
+// RunCell target (see the runner struct comment).
+func (r *runner) armSnapshots(cfg *diskthru.Config) {
+	if r.snapID == nil {
+		return
+	}
+	id := *r.snapID
+	if r.onSnap != nil && r.snapEvery > 0 {
+		sink := r.onSnap
+		cfg.SnapshotEvery = r.snapEvery
+		cfg.OnSnapshot = func(state []byte) { sink(id, state) }
+	}
+	if r.resumeSnap != nil {
+		cfg.Resume = r.resumeSnap(id)
+	}
 }
 
 // compare is diskthru.Compare decomposed into one cell per system, with
@@ -118,6 +167,7 @@ func (r *runner) compare(wr *workloadRef, base diskthru.Config, systems []diskth
 			cfg := base.WithSystem(sys)
 			cfg.Progress = r.prog
 			cfg.StreamStats = cfg.StreamStats || r.stream
+			r.armSnapshots(&cfg)
 			v, err := diskthru.RunContext(r.ctx, w, cfg)
 			if err != nil {
 				return fmt.Errorf("%v: %w", sys, err)
@@ -192,12 +242,46 @@ func (r *runner) dispatch(phase, i int) error {
 	return nil
 }
 
+// priorOrRun executes one earlier-phase cell on behalf of a RunCell
+// capture: slot cells whose payload the session already holds are
+// injected — the same decode path RunWithCellExec uses, so the target
+// phase's plan is byte-identical to a cold run — and everything else
+// runs locally. The injected/simulated counters feed the daemon's
+// redundancy metrics.
+func (r *runner) priorOrRun(phase, i int) error {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	e := r.cells[i]
+	if e.slot != nil {
+		if payload, ok := r.sess.prior[CellID{Phase: phase, Index: i}]; ok {
+			if err := decodeSlot(payload, e.slot); err == nil {
+				r.sess.injected.Add(1)
+				r.prog.CellDone()
+				return nil
+			}
+			// An undecodable payload is a warm-start miss, not a failure:
+			// fall through and recompute the cell.
+		}
+		r.sess.simulated.Add(1)
+	}
+	return r.cell(i)
+}
+
 // capture executes only the target cell of this phase and encodes its
 // slot into the session — the terminal step of RunCell on the daemon.
 func (r *runner) capture(id CellID) error {
 	if id.Index >= len(r.cells) {
 		return fmt.Errorf("experiments: phase %d has %d cells, no index %d",
 			id.Phase, len(r.cells), id.Index)
+	}
+	if (r.onSnap != nil || r.resumeSnap != nil) && r.cells[id.Index].slot != nil {
+		// Arm intra-cell snapshots for the target only. Safe without
+		// locking: capture runs serially on the driver goroutine, after
+		// every earlier phase's worker pool has drained, and the target
+		// cell executes inside r.cell below on this same goroutine.
+		tid := id
+		r.snapID = &tid
 	}
 	if err := r.cell(id.Index); err != nil {
 		return err
@@ -240,7 +324,10 @@ func (r *runner) wait() error {
 			if phase == r.sess.target.Phase {
 				return r.capture(*r.sess.target)
 			}
-			// An earlier phase: run it in full, locally, below.
+			// An earlier phase: inject each slot cell from a prior-phase
+			// payload when the session carries one (warm start), run it
+			// in full locally otherwise.
+			exec = func(i int) error { return r.priorOrRun(phase, i) }
 		case r.sess.exec != nil:
 			exec = func(i int) error { return r.dispatch(phase, i) }
 		}

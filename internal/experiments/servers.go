@@ -147,7 +147,7 @@ func serverStripingFigure(id string, k serverKind, o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	wr := newWorkload(func() (*diskthru.Workload, error) { return buildServer(k, o) })
+	wr := newWorkload(o, func() (*diskthru.Workload, error) { return buildServer(k, o) })
 	hdcKB := scaleHDCKB(2048, k.scaleOf(o))
 	t := &Table{
 		ID:      id,
@@ -207,7 +207,7 @@ func serverHDCSizeFigure(id string, k serverKind, o Options) (*Table, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	wr := newWorkload(func() (*diskthru.Workload, error) { return buildServer(k, o) })
+	wr := newWorkload(o, func() (*diskthru.Workload, error) { return buildServer(k, o) })
 	stripe := k.hdcSweepStripeKB()
 	t := &Table{
 		ID:      id,
@@ -282,7 +282,7 @@ func Table2(o Options) (*Table, error) {
 	rows := make([]t2Row, len(kinds))
 	for i, k := range kinds {
 		k := k
-		wr := newWorkload(func() (*diskthru.Workload, error) { return buildServer(k, o) })
+		wr := newWorkload(o, func() (*diskthru.Workload, error) { return buildServer(k, o) })
 		cfg := diskthru.DefaultConfig()
 		cfg.StripeKB = k.bestStripeKB()
 		hdcKB := scaleHDCKB(2048, k.scaleOf(o))

@@ -96,7 +96,7 @@ func Fig3(o Options) (*Table, error) {
 	rows := make([][]*diskthru.Result, len(kbs))
 	for i, kb := range kbs {
 		kb := kb
-		wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, kb, 0.4, 0) })
+		wr := newWorkload(o, func() (*diskthru.Workload, error) { return synWorkload(o, kb, 0.4, 0) })
 		rows[i] = r.compare(wr, cfg,
 			[]diskthru.System{diskthru.Segm, diskthru.Block, diskthru.NoRA, diskthru.FOR})
 	}
@@ -125,7 +125,7 @@ func Fig4(o Options) (*Table, error) {
 		XLabel:  "streams",
 		Columns: []string{"Segm", "Block", "FOR", "Segm secs"},
 	}
-	wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
+	wr := newWorkload(o, func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, 0) })
 	streamCounts := []int{64, 128, 256, 512, 768, 1024}
 	r := newRunner(o)
 	rows := make([][]*diskthru.Result, len(streamCounts))
@@ -166,7 +166,7 @@ func Fig5(o Options) (*Table, error) {
 	rows := make([]fig5Row, len(alphas))
 	for i, alpha := range alphas {
 		alpha := alpha
-		wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, alpha, 0) })
+		wr := newWorkload(o, func() (*diskthru.Workload, error) { return synWorkload(o, 16, alpha, 0) })
 		cfg := baseConfig()
 		rows[i] = fig5Row{
 			segm:    r.run(wr, cfg),
@@ -214,7 +214,7 @@ func Fig6(o Options) (*Table, error) {
 	rows := make([]fig6Row, len(wfs))
 	for i, wf := range wfs {
 		wf := wf
-		wr := newWorkload(func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, wf) })
+		wr := newWorkload(o, func() (*diskthru.Workload, error) { return synWorkload(o, 16, 0.4, wf) })
 		cfg := baseConfig()
 		rows[i] = fig6Row{
 			segm:    r.run(wr, cfg),

@@ -21,9 +21,16 @@ import (
 // httptest), optionally wrapped, and returns their endpoints.
 func bootDaemons(t *testing.T, n int, wrap func(http.Handler) http.Handler) []string {
 	t.Helper()
+	return bootDaemonsCfg(t, n, wrap, serve.Config{QueueCap: 16, Workers: 1})
+}
+
+// bootDaemonsCfg is bootDaemons with an explicit daemon config, usable
+// from benchmarks too.
+func bootDaemonsCfg(t testing.TB, n int, wrap func(http.Handler) http.Handler, cfg serve.Config) []string {
+	t.Helper()
 	endpoints := make([]string, n)
 	for i := 0; i < n; i++ {
-		srv, err := serve.New(serve.Config{QueueCap: 16, Workers: 1})
+		srv, err := serve.New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"diskthru/internal/experiments"
+	"diskthru/internal/serve"
+)
+
+// tinyOpts is the smallest scale the experiments tests use — fast
+// enough to sweep repeatedly in benchmarks.
+func tinyOpts() experiments.Options {
+	return experiments.Options{
+		SynRequests: 1200, WebScale: 0.012, ProxyScale: 0.012, FileScale: 0.0015,
+	}
+}
+
+// scrapeMetric sums one un-labeled (or exactly-labeled) series across
+// daemon /metrics endpoints.
+func scrapeMetric(t *testing.T, endpoints []string, series string) float64 {
+	t.Helper()
+	var sum float64
+	for _, ep := range endpoints {
+		resp, err := http.Get(ep + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			if !strings.HasPrefix(line, series+" ") {
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, series+" ")), 64)
+			if err != nil {
+				t.Fatalf("unparsable metric line %q: %v", line, err)
+			}
+			sum += v
+		}
+	}
+	return sum
+}
+
+// TestFleetDegradedNoPhaseReplay is the warm-start acceptance sweep:
+// the degraded experiment's fault phase plans from its healthy phase,
+// so a cold fleet re-simulates the whole healthy phase inside every
+// fault cell. With phase injection the daemons must replay zero
+// earlier-phase cells, and the merged table must still be
+// byte-identical to the single-node serial run.
+func TestFleetDegradedNoPhaseReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the degraded sweep twice")
+	}
+	local := tinyOpts()
+	local.Parallelism = 1
+	want, err := experiments.Run("degraded", local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	endpoints := bootDaemonsCfg(t, 2, nil, serve.Config{QueueCap: 16, Workers: 1})
+	c, err := New(Config{Endpoints: endpoints, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Run(context.Background(), "degraded", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("warm fleet table differs from single-node run:\n--- single ---\n%s--- fleet ---\n%s",
+			want, got)
+	}
+	if n := scrapeMetric(t, endpoints, "serve_cells_phase_resimulated_total"); n != 0 {
+		t.Errorf("daemons re-simulated %v earlier-phase cells; warm dispatch should inject all of them", n)
+	}
+	if n := scrapeMetric(t, endpoints, "serve_cells_phase_injected_total"); n == 0 {
+		t.Error("daemons injected no phase payloads")
+	}
+	if v := c.warmSent.Value(); v == 0 {
+		t.Error("coordinator attached no prior-phase payloads")
+	}
+
+	// The baseline switch restores the replay behavior the benchmark
+	// compares against.
+	endpoints2 := bootDaemonsCfg(t, 2, nil, serve.Config{QueueCap: 16, Workers: 1})
+	c2, err := New(Config{Endpoints: endpoints2, Window: 2, DisablePhaseInjection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := c2.Run(context.Background(), "degraded", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.String() != want.String() {
+		t.Error("replay-mode fleet table differs from single-node run")
+	}
+	if n := scrapeMetric(t, endpoints2, "serve_cells_phase_resimulated_total"); n == 0 {
+		t.Error("replay-mode daemons re-simulated nothing; baseline is not exercising the replay path")
+	}
+}
+
+// benchFleetDegraded sweeps the degraded experiment across an
+// in-process 2-daemon fleet. Payload caching is disabled on the daemons
+// so every iteration simulates what it claims to; the only variable is
+// whether later-phase dispatches carry the earlier phases' payloads.
+// The scale is a few multiples of tiny and polling is tightened so
+// simulation, not poll latency, dominates what the gate measures.
+func benchFleetDegraded(b *testing.B, disableInjection bool) {
+	endpoints := bootDaemonsCfg(b, 2, nil,
+		serve.Config{QueueCap: 16, Workers: 1, CacheBytes: -1})
+	o := tinyOpts()
+	o.SynRequests = 12000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := New(Config{Endpoints: endpoints, Window: 2,
+			PollInterval:          5 * time.Millisecond,
+			DisablePhaseInjection: disableInjection})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(context.Background(), "degraded", o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetDegradedWarm vs BenchmarkFleetDegradedReplay is the
+// warm-start wall-clock gate: replay mode simulates the healthy phase
+// inside every fault cell (15 cell simulations per sweep), warm mode
+// injects it (6), so warm must win by well over the 1.5x the gate
+// demands.
+func BenchmarkFleetDegradedWarm(b *testing.B)   { benchFleetDegraded(b, false) }
+func BenchmarkFleetDegradedReplay(b *testing.B) { benchFleetDegraded(b, true) }

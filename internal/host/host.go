@@ -15,6 +15,7 @@ import (
 	"diskthru/internal/dist"
 	"diskthru/internal/fslayout"
 	"diskthru/internal/sim"
+	"diskthru/internal/snapshot"
 	"diskthru/internal/trace"
 )
 
@@ -281,12 +282,24 @@ func (st *stream) onDone(sim.Time) {
 // or, with FlushHDCAtEnd, of the final flush. Idle background sync
 // ticks past that point do not count.
 func (h *Host) Replay(t *trace.Trace) sim.Time {
+	h.Start(t)
+	h.sim.Run()
+	return h.lastCompletion
+}
+
+// Start seeds the simulator with the trace's replay without draining
+// it: every initial stream (closed loop) or arrival (open loop) is
+// scheduled, and the caller owns the drive — sim.Run for a plain
+// replay, sim.RunEvents for the snapshot layer's exact fast-forward.
+// Read the makespan from Makespan after the queue drains.
+func (h *Host) Start(t *trace.Trace) {
 	h.records = t.Records
 	h.cursor = 0
 	h.active = 0
 	h.lastCompletion = 0
 	if h.cfg.ArrivalRate > 0 {
-		return h.replayOpenLoop()
+		h.startOpenLoop()
+		return
 	}
 	streams := h.cfg.Streams
 	if streams > len(h.records) {
@@ -303,14 +316,38 @@ func (h *Host) Replay(t *trace.Trace) sim.Time {
 	if h.cfg.SyncHDCEvery > 0 {
 		h.scheduleSync()
 	}
-	h.sim.Run()
-	return h.lastCompletion
 }
 
-// replayOpenLoop injects records as a Poisson arrival process and
+// Makespan reports the completion time of the last host-visible
+// operation — valid once the simulator has drained after Start.
+func (h *Host) Makespan() sim.Time { return h.lastCompletion }
+
+// DigestState folds the host's replay bookkeeping into a snapshot
+// digest — trace position, in-flight work, issued/latency counters and
+// the degraded-mode watchdog state. Called at event-loop boundaries
+// only, so every field is quiescent.
+func (h *Host) DigestState(d *snapshot.Hash) {
+	d.AddInt(h.cursor)
+	d.AddInt(h.active)
+	d.AddInt(h.openPending)
+	d.AddBool(h.openExhausted)
+	d.AddFloat(h.lastCompletion)
+	d.Add(h.IssuedRequests)
+	d.AddInt(len(h.Latencies))
+	d.Add(h.redirects)
+	d.Add(h.aborted)
+	for _, n := range h.timeouts {
+		d.Add(n)
+	}
+	for _, down := range h.down {
+		d.AddBool(down)
+	}
+}
+
+// startOpenLoop injects records as a Poisson arrival process and
 // collects per-record response times. Concurrency is unbounded, as in
 // an open system; the makespan is the last completion.
-func (h *Host) replayOpenLoop() sim.Time {
+func (h *Host) startOpenLoop() {
 	if h.cfg.OnLatency == nil {
 		h.Latencies = make([]float64, 0, len(h.records))
 	}
@@ -349,8 +386,6 @@ func (h *Host) replayOpenLoop() sim.Time {
 	if h.cfg.SyncHDCEvery > 0 {
 		h.scheduleSync()
 	}
-	h.sim.Run()
-	return h.lastCompletion
 }
 
 // observeLatency routes one open-loop response time to the configured
@@ -373,6 +408,15 @@ func (h *Host) observeLatency(v float64) {
 // Config.OnLatency (or Latencies when unset — which reintroduces
 // O(records) growth, so streaming callers always set the callback).
 func (h *Host) ReplayOpen(next func() (trace.Record, bool)) sim.Time {
+	h.StartOpen(next)
+	h.sim.Run()
+	return h.lastCompletion
+}
+
+// StartOpen is ReplayOpen without the drain: the generator chain's
+// first arrival is scheduled and the caller drives the simulator (see
+// Start).
+func (h *Host) StartOpen(next func() (trace.Record, bool)) {
 	if h.cfg.ArrivalRate <= 0 {
 		panic("host: ReplayOpen requires an arrival rate")
 	}
@@ -423,8 +467,6 @@ func (h *Host) ReplayOpen(next func() (trace.Record, bool)) sim.Time {
 	if h.cfg.SyncHDCEvery > 0 {
 		h.scheduleSync()
 	}
-	h.sim.Run()
-	return h.lastCompletion
 }
 
 // openRetire accounts one open-loop record's completion.

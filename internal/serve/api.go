@@ -15,7 +15,8 @@ import (
 //	                              200 + the original View on a replayed
 //	                              key, 409 on a key/spec mismatch)
 //	GET    /v1/jobs               job index            -> 200 []IndexEntry
-//	                              (?limit=N keeps the N newest)
+//	                              (?limit=N keeps the N newest;
+//	                              ?state=S filters by lifecycle state)
 //	GET    /v1/jobs/{id}          status + result      -> 200 View | 404
 //	GET    /v1/jobs/{id}/progress NDJSON live progress -> 200 stream | 404
 //	DELETE /v1/jobs/{id}          cancel               -> 202 View | 404
@@ -98,7 +99,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // handleList serves the job index: compact entries (id, state,
 // experiment, cell, submitted-at) in submission order. ?limit=N keeps
-// only the N most recently submitted jobs.
+// only the N most recently submitted jobs; ?state=S keeps only jobs
+// currently in lifecycle state S (the filter applies before the limit).
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	limit := 0
 	if raw := r.URL.Query().Get("limit"); raw != "" {
@@ -109,7 +111,18 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	writeJSON(w, http.StatusOK, s.Index(limit))
+	var state State
+	if raw := r.URL.Query().Get("state"); raw != "" {
+		switch State(raw) {
+		case StateQueued, StateRunning, StateDone, StateFailed, StateCanceled:
+			state = State(raw)
+		default:
+			writeJSON(w, http.StatusBadRequest, apiError{
+				Error: "bad state: want queued, running, done, failed or canceled"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.Index(limit, state))
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"diskthru"
+)
+
+// Cache entry kinds, used as the {kind} label on the serve_cache_*
+// metric families.
+const (
+	kindPayload  = "payload"
+	kindWorkload = "workload"
+)
+
+// warmCache is the daemon's content-addressed warm-start store: one
+// byte-budgeted LRU holding both completed cell payloads (keyed by the
+// canonical spec identity, see payloadKey) and built workloads (keyed
+// by experiments' warm-session scheme). Payload hits skip the whole
+// simulation; workload hits skip layout allocation and trace synthesis.
+// Both kinds share the budget because they compete for the same memory:
+// a daemon serving many distinct sweeps wants workloads, a daemon
+// re-serving the same cells wants payloads, and LRU arbitrates.
+//
+// Everything stored is deterministic output of its key — identical
+// submissions produce byte-identical payloads and workloads are
+// read-only during replay — so a hit can never change a result, only
+// its cost.
+type warmCache struct {
+	mu      sync.Mutex
+	maxCost int64
+	cost    int64
+	lru     *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+
+	// Per-kind counters, atomics so the metrics registry reads them
+	// without taking mu mid-scrape.
+	hits, misses, evictions [2]atomic.Int64
+	bytes                   [2]atomic.Int64
+}
+
+// kindIdx maps a kind label to its counter slot.
+func kindIdx(kind string) int {
+	if kind == kindWorkload {
+		return 1
+	}
+	return 0
+}
+
+type cacheEntry struct {
+	key     string
+	kind    string
+	cost    int64
+	payload []byte
+	w       *diskthru.Workload
+}
+
+func newWarmCache(maxCost int64) *warmCache {
+	return &warmCache{
+		maxCost: maxCost,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the entry under (kind, key), promoting it to
+// most-recently-used. Keys are namespaced by kind so a payload and a
+// workload can never collide.
+func (c *warmCache) get(kind, key string) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[kind+"\x00"+key]
+	if !ok {
+		c.misses[kindIdx(kind)].Add(1)
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	c.hits[kindIdx(kind)].Add(1)
+	return el.Value.(*cacheEntry)
+}
+
+// add inserts an entry, evicting least-recently-used entries of any
+// kind until the byte budget holds. An entry dearer than the whole
+// budget is dropped (never cached); re-adding an existing key replaces
+// it.
+func (c *warmCache) add(e *cacheEntry) {
+	if e.cost > c.maxCost {
+		return
+	}
+	nk := e.kind + "\x00" + e.key
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[nk]; ok {
+		old := el.Value.(*cacheEntry)
+		c.cost -= old.cost
+		c.bytes[kindIdx(old.kind)].Add(-old.cost)
+		c.lru.Remove(el)
+		delete(c.entries, nk)
+	}
+	for c.cost+e.cost > c.maxCost {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, victim.kind+"\x00"+victim.key)
+		c.cost -= victim.cost
+		c.bytes[kindIdx(victim.kind)].Add(-victim.cost)
+		c.evictions[kindIdx(victim.kind)].Add(1)
+	}
+	c.entries[nk] = c.lru.PushFront(e)
+	c.cost += e.cost
+	c.bytes[kindIdx(e.kind)].Add(e.cost)
+}
+
+// getPayload looks up a completed cell payload.
+func (c *warmCache) getPayload(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	e := c.get(kindPayload, key)
+	if e == nil {
+		return nil, false
+	}
+	return e.payload, true
+}
+
+// addPayload caches one completed cell payload at its encoded size.
+func (c *warmCache) addPayload(key string, payload []byte) {
+	if c == nil {
+		return
+	}
+	c.add(&cacheEntry{key: key, kind: kindPayload, cost: int64(len(payload)), payload: payload})
+}
+
+// Get and Add implement experiments.WorkloadCache, letting every job's
+// drivers share built workloads through the same LRU. Workload cost is
+// the estimated resident footprint (Workload.MemFootprint), since the
+// artifact is an object graph, not bytes on a wire.
+func (c *warmCache) Get(key string) (*diskthru.Workload, bool) {
+	if c == nil {
+		return nil, false
+	}
+	e := c.get(kindWorkload, key)
+	if e == nil {
+		return nil, false
+	}
+	return e.w, true
+}
+
+func (c *warmCache) Add(key string, w *diskthru.Workload) {
+	if c == nil {
+		return
+	}
+	c.add(&cacheEntry{key: key, kind: kindWorkload, cost: w.MemFootprint(), w: w})
+}

@@ -141,7 +141,7 @@ func TestRecoveryRestoresTerminalJobs(t *testing.T) {
 		}
 	}
 	// The GET /v1/jobs index carries the recovered flag too.
-	for _, e := range s2.Index(0) {
+	for _, e := range s2.Index(0, "") {
 		if !e.Recovered {
 			t.Errorf("index entry %s not flagged recovered", e.ID)
 		}

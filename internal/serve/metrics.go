@@ -116,6 +116,49 @@ func (s *Server) initMetrics() {
 			return float64(bytes)
 		})
 
+	// Warm-start families. Like the durability families they always
+	// exist, reading zero when the cache/snapshot machinery is off, so
+	// dashboards need no conditional scrape.
+	r.NewCounterFunc("serve_cells_phase_injected_total",
+		"Earlier-phase cells of cell jobs satisfied by injecting submitted phase results instead of re-simulating.",
+		func() float64 { return float64(s.phaseInjected.Load()) })
+	r.NewCounterFunc("serve_cells_phase_resimulated_total",
+		"Earlier-phase cells of cell jobs re-simulated because no usable phase result was submitted.",
+		func() float64 { return float64(s.phaseResimulated.Load()) })
+	r.NewCounterFunc("serve_snapshots_taken_total",
+		"Intra-cell replay snapshots journaled by running cell jobs.",
+		func() float64 { return float64(s.snapsTaken.Load()) })
+	r.NewCounterFunc("serve_snapshot_restores_total",
+		"Mid-cell resume attempts from a journaled snapshot, by outcome: verified resumes fast-forwarded bit-exactly, mismatches fell back to a cold run.",
+		func() float64 { return float64(s.snapVerified.Load()) }, "result", "verified")
+	r.NewCounterFunc("serve_snapshot_restores_total",
+		"Mid-cell resume attempts from a journaled snapshot, by outcome: verified resumes fast-forwarded bit-exactly, mismatches fell back to a cold run.",
+		func() float64 { return float64(s.snapMismatch.Load()) }, "result", "mismatch")
+	for _, kind := range []string{kindPayload, kindWorkload} {
+		kind := kind
+		i := kindIdx(kind)
+		readCache := func(read func() int64) func() float64 {
+			return func() float64 {
+				if s.cache == nil {
+					return 0
+				}
+				return float64(read())
+			}
+		}
+		r.NewCounterFunc("serve_cache_hits_total",
+			"Warm-cache lookups answered from memory, by entry kind.",
+			readCache(func() int64 { return s.cache.hits[i].Load() }), "kind", kind)
+		r.NewCounterFunc("serve_cache_misses_total",
+			"Warm-cache lookups that had to compute, by entry kind.",
+			readCache(func() int64 { return s.cache.misses[i].Load() }), "kind", kind)
+		r.NewCounterFunc("serve_cache_evictions_total",
+			"Warm-cache entries evicted by the LRU byte budget, by entry kind.",
+			readCache(func() int64 { return s.cache.evictions[i].Load() }), "kind", kind)
+		r.NewGaugeFunc("serve_cache_bytes",
+			"Bytes of warm-cache budget currently held, by entry kind (workload entries are costed at their estimated resident footprint).",
+			readCache(func() int64 { return s.cache.bytes[i].Load() }), "kind", kind)
+	}
+
 	s.httpReqs = r.NewCounterVec("diskthru_http_requests_total",
 		"HTTP requests served, by method, route pattern and status code.",
 		"method", "route", "code")

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"diskthru"
 	"diskthru/internal/experiments"
 	"diskthru/internal/journal"
 	"diskthru/internal/metrics"
@@ -74,6 +75,23 @@ type Config struct {
 	// not checkpoint. Nil means the real experiments-backed runner;
 	// tests inject controllable stand-ins.
 	Runner func(ctx context.Context, spec Spec, prog *probe.Progress, ck *Checkpoint) (string, error)
+	// CacheBytes budgets the warm-start cache: a byte-bounded LRU over
+	// completed cell payloads and built workloads, so identical
+	// resubmissions (fleet retries, failovers, repeated sweeps) are
+	// answered from memory instead of re-simulated. Zero means 64 MiB;
+	// negative disables caching entirely.
+	CacheBytes int64
+	// SnapshotEvery arms intra-cell checkpointing for cell jobs on a
+	// journal-enabled daemon: roughly every this many simulation events
+	// the replay engine's verified state snapshot is journaled, and a
+	// SIGKILLed cell resumes mid-flight at the next boot instead of
+	// restarting from zero. Zero disables; ignored without StateDir.
+	SnapshotEvery uint64
+	// DisablePhaseInjection makes the daemon re-simulate earlier phases
+	// of cell jobs even when the submission carries their payloads
+	// (Spec.PhaseResults). Benchmark/diagnostic switch: it isolates the
+	// cost phase injection removes.
+	DisablePhaseInjection bool
 	// StateDir, when set, makes the daemon crash-safe: every job
 	// admission, state transition and completed simulation cell is
 	// appended to an fsync'd journal under this directory, and New
@@ -116,6 +134,15 @@ type Server struct {
 	// counts cells restored from it instead of re-run.
 	jnl           *journal.Writer
 	cellsReplayed atomic.Int64
+	// cache is the warm-start LRU (nil when Config.CacheBytes < 0); the
+	// warm-execution counters below are atomics so the metrics registry
+	// reads them without mu.
+	cache            *warmCache
+	phaseInjected    atomic.Int64 // earlier-phase cells injected from Spec.PhaseResults
+	phaseResimulated atomic.Int64 // earlier-phase cells re-simulated (no usable prior)
+	snapsTaken       atomic.Int64 // intra-cell snapshots journaled
+	snapVerified     atomic.Int64 // mid-cell resumes that fast-forwarded and verified
+	snapMismatch     atomic.Int64 // resumes rejected by verification; cell re-ran cold
 	// perExp summarizes wall-clock seconds of completed (done) jobs.
 	perExp map[string]*stats.Summary
 
@@ -143,9 +170,6 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
-	if cfg.Runner == nil {
-		cfg.Runner = runSpec
-	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -156,6 +180,15 @@ func New(cfg Config) (*Server, error) {
 		jobs:   make(map[string]*job),
 		idem:   make(map[string]string),
 		perExp: make(map[string]*stats.Summary),
+	}
+	if s.cfg.Runner == nil {
+		s.cfg.Runner = s.runSpec
+	}
+	if s.cfg.CacheBytes == 0 {
+		s.cfg.CacheBytes = 64 << 20
+	}
+	if s.cfg.CacheBytes > 0 {
+		s.cache = newWarmCache(s.cfg.CacheBytes)
 	}
 	var pending []*job
 	if cfg.StateDir != "" {
@@ -190,25 +223,20 @@ func New(cfg Config) (*Server, error) {
 // cell through experiments.RunWithCellExec so completed cells persist
 // as they finish and journaled ones are injected instead of re-run —
 // the cell decomposition is proven byte-identical to a plain run.
-func runSpec(ctx context.Context, sp Spec, prog *probe.Progress, ck *Checkpoint) (string, error) {
+// Warm-start layers (cell jobs): the journal checkpoint, then the
+// in-memory payload cache, then phase injection from Spec.PhaseResults,
+// then — if a journaled intra-cell snapshot exists — a verified mid-cell
+// resume. Every layer preserves byte identity; each just starts closer
+// to the finish line.
+func (s *Server) runSpec(ctx context.Context, sp Spec, prog *probe.Progress, ck *Checkpoint) (string, error) {
 	o := sp.options()
 	o.Ctx = ctx
 	o.Progress = prog
+	if s.cache != nil {
+		o.WorkloadCache = s.cache
+	}
 	if sp.Cell != nil {
-		// Cell granularity: the result is the single cell's encoded
-		// slot, base64 so it survives the JSON job view. The coordinator
-		// that submitted it decodes and injects it into its own driver
-		// invocation; it is not human-readable on purpose.
-		if payload, ok := ck.lookup(*sp.Cell); ok {
-			ck.replayed()
-			return base64.StdEncoding.EncodeToString(payload), nil
-		}
-		payload, err := experiments.RunCell(sp.Experiment, o, *sp.Cell)
-		if err != nil {
-			return "", err
-		}
-		ck.recordCell(*sp.Cell, payload)
-		return base64.StdEncoding.EncodeToString(payload), nil
+		return s.runCellSpec(sp, o, ck)
 	}
 	var t *experiments.Table
 	var err error
@@ -229,6 +257,89 @@ func runSpec(ctx context.Context, sp Spec, prog *probe.Progress, ck *Checkpoint)
 		t.Format(&sb)
 	}
 	return sb.String(), nil
+}
+
+// runCellSpec executes one cell-granularity job. The result is the
+// single cell's encoded slot, base64 so it survives the JSON job view;
+// the coordinator that submitted it decodes and injects it into its own
+// driver invocation — it is not human-readable on purpose.
+func (s *Server) runCellSpec(sp Spec, o experiments.Options, ck *Checkpoint) (string, error) {
+	id := *sp.Cell
+	// Layer 1: the journal checkpoint — this very job already completed
+	// the cell before a crash.
+	if payload, ok := ck.lookup(id); ok {
+		ck.replayed()
+		return base64.StdEncoding.EncodeToString(payload), nil
+	}
+	// Layer 2: the content-addressed payload cache — some earlier job
+	// with the same canonical identity already computed this cell
+	// (retries under new idempotency keys, failover re-dispatch,
+	// repeated sweeps). Journal the hit so it is durable for this job.
+	key := payloadKey(sp, o)
+	if payload, ok := s.cache.getPayload(key); ok {
+		ck.recordCell(id, payload)
+		return base64.StdEncoding.EncodeToString(payload), nil
+	}
+	// Layer 3: phase injection — the submitter attached earlier-phase
+	// payloads, so those phases decode instead of re-simulating.
+	var prior map[experiments.CellID][]byte
+	if !s.cfg.DisablePhaseInjection && len(sp.PhaseResults) > 0 {
+		prior = make(map[experiments.CellID][]byte, len(sp.PhaseResults))
+		for _, pr := range sp.PhaseResults {
+			prior[pr.Cell] = pr.Payload
+		}
+	}
+	// Layer 4: intra-cell snapshots. On a journal-enabled daemon the
+	// target cell checkpoints its verified replay state every
+	// SnapshotEvery events, and a journaled snapshot from a crashed
+	// attempt fast-forwards this one mid-cell.
+	if ck != nil && s.cfg.SnapshotEvery > 0 {
+		o.SnapshotEvery = s.cfg.SnapshotEvery
+		o.OnSnapshot = func(cid experiments.CellID, state []byte) {
+			ck.recordSnap(cid, state)
+			s.snapsTaken.Add(1)
+		}
+	}
+	resumed := false
+	if snap, ok := ck.lookupSnap(id); ok {
+		o.ResumeSnapshot = func(experiments.CellID) []byte {
+			resumed = true
+			return snap
+		}
+	}
+	res, err := experiments.RunCellWarm(sp.Experiment, o, id, prior)
+	if resumed && err != nil && errors.Is(err, diskthru.ErrSnapshotResume) {
+		// The journaled snapshot no longer verifies bit-for-bit (version
+		// skew, torn record): a warm-start miss, not a job failure. Run
+		// the cell cold.
+		s.snapMismatch.Add(1)
+		resumed = false
+		o.ResumeSnapshot = nil
+		res, err = experiments.RunCellWarm(sp.Experiment, o, id, prior)
+	}
+	if err != nil {
+		return "", err
+	}
+	if resumed {
+		s.snapVerified.Add(1)
+	}
+	s.phaseInjected.Add(int64(res.PhaseCellsInjected))
+	s.phaseResimulated.Add(int64(res.PhaseCellsSimulated))
+	ck.recordCell(id, res.Payload)
+	s.cache.addPayload(key, res.Payload)
+	return base64.StdEncoding.EncodeToString(res.Payload), nil
+}
+
+// payloadKey is the content address of one cell result: the experiment,
+// the cell, and every resolved option that shapes the simulation.
+// Parallelism, Format, TimeoutSeconds, IdempotencyKey and PhaseResults
+// are deliberately excluded — none of them change the payload bytes
+// (phase injection is byte-identical by construction), so submissions
+// differing only in those still share one cache line.
+func payloadKey(sp Spec, o experiments.Options) string {
+	return fmt.Sprintf("%s|%s|syn=%d|web=%g|proxy=%g|file=%g|seed=%d|stream=%t",
+		sp.Experiment, sp.Cell, o.SynRequests, o.WebScale, o.ProxyScale,
+		o.FileScale, o.Seed, o.StreamStats)
 }
 
 // Submit validates and enqueues one job, returning its queued view.
@@ -339,11 +450,23 @@ func (s *Server) List() []View {
 // GET /v1/jobs listing. A positive limit keeps only the most recently
 // submitted jobs (the tail), which is what an operator watching a busy
 // daemon and a coordinator enumerating outstanding work both want;
-// limit <= 0 returns everything.
-func (s *Server) Index(limit int) []IndexEntry {
+// limit <= 0 returns everything. A non-empty state keeps only jobs
+// currently in that state; the limit applies after the filter, so
+// `?state=failed&limit=5` is the five newest failures, not the failures
+// among the five newest jobs.
+func (s *Server) Index(limit int, state State) []IndexEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	order := s.order
+	if state != "" {
+		filtered := make([]string, 0, len(order))
+		for _, id := range order {
+			if s.jobs[id].state == state {
+				filtered = append(filtered, id)
+			}
+		}
+		order = filtered
+	}
 	if limit > 0 && limit < len(order) {
 		order = order[len(order)-limit:]
 	}
@@ -481,7 +604,7 @@ func (s *Server) execute(j *job) {
 
 	var ck *Checkpoint
 	if s.jnl != nil {
-		ck = &Checkpoint{s: s, j: j, have: j.checkpoint}
+		ck = &Checkpoint{s: s, j: j, have: j.checkpoint, snaps: j.snapshots}
 	}
 	result, err := s.runJob(ctx, j, ck)
 	if err == nil && ctx.Err() == context.DeadlineExceeded {

@@ -1,0 +1,148 @@
+// Package snapshot is the codec behind intra-cell checkpoint/resume:
+// compact, versioned descriptions of a replay's position that let a
+// restarted daemon fast-forward a long simulation cell to where a
+// crashed one died, instead of starting over.
+//
+// A State does not serialize the simulator's live object graph — the
+// in-flight work of a replay is closure state (stream completions,
+// pre-bound disk events, watchdog timers), which Go cannot externalize.
+// It instead pins down the *trajectory*: the run fingerprint (workload +
+// config), the number of events fired, the virtual clock, and a
+// multi-layer digest of every counter that matters folded across sim,
+// bus, disks and host. Because replays are bit-deterministic for a
+// fixed (workload, config) pair — the repo's central invariant — a
+// restarted run that rebuilds the same rig and fires the same number of
+// events MUST land on the same clock and digest; the restore path
+// verifies both bit-for-bit before continuing, downgrading "hope it is
+// deterministic" to "checked it is identical". See DESIGN.md, "Warm
+// starts & snapshots".
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// State is one checkpoint of a replay, taken at an event-loop boundary.
+type State struct {
+	// Fingerprint identifies the (workload, config) pair the snapshot
+	// belongs to; restoring into a differently-configured run is refused
+	// before any simulation happens.
+	Fingerprint uint64
+	// Events is the number of simulation events fired when the snapshot
+	// was taken — the resume point.
+	Events uint64
+	// Clock is the virtual time at the snapshot, compared bit-for-bit
+	// (math.Float64bits) on restore.
+	Clock float64
+	// Digest folds the observable state of every layer (sim counters,
+	// bus, per-disk stats and caches, host bookkeeping) at the snapshot
+	// point; see the DigestState methods.
+	Digest uint64
+}
+
+// Wire format: magic, version, four fixed little-endian 8-byte fields,
+// CRC32-C over everything before the trailer. Fixed-size on purpose —
+// a snapshot is journaled periodically from inside the serving path and
+// must stay cheap to encode and fsync.
+const (
+	version    = 1
+	encodedLen = 4 + 1 + 4*8 + 4
+)
+
+var magic = [4]byte{'D', 'S', 'N', 'P'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode serializes the state.
+func (st State) Encode() []byte {
+	b := make([]byte, encodedLen)
+	copy(b[0:4], magic[:])
+	b[4] = version
+	binary.LittleEndian.PutUint64(b[5:], st.Fingerprint)
+	binary.LittleEndian.PutUint64(b[13:], st.Events)
+	binary.LittleEndian.PutUint64(b[21:], math.Float64bits(st.Clock))
+	binary.LittleEndian.PutUint64(b[29:], st.Digest)
+	binary.LittleEndian.PutUint32(b[37:], crc32.Checksum(b[:37], castagnoli))
+	return b
+}
+
+// Decode parses an encoded state, rejecting truncation, bad magic,
+// unknown versions and checksum mismatches.
+func Decode(b []byte) (State, error) {
+	if len(b) != encodedLen {
+		return State{}, fmt.Errorf("snapshot: %d bytes, want %d", len(b), encodedLen)
+	}
+	if [4]byte(b[0:4]) != magic {
+		return State{}, fmt.Errorf("snapshot: bad magic %q", b[0:4])
+	}
+	if b[4] != version {
+		return State{}, fmt.Errorf("snapshot: unknown version %d", b[4])
+	}
+	if got, want := crc32.Checksum(b[:37], castagnoli), binary.LittleEndian.Uint32(b[37:]); got != want {
+		return State{}, fmt.Errorf("snapshot: checksum mismatch (%08x != %08x)", got, want)
+	}
+	return State{
+		Fingerprint: binary.LittleEndian.Uint64(b[5:]),
+		Events:      binary.LittleEndian.Uint64(b[13:]),
+		Clock:       math.Float64frombits(binary.LittleEndian.Uint64(b[21:])),
+		Digest:      binary.LittleEndian.Uint64(b[29:]),
+	}, nil
+}
+
+// Hash accumulates the state digest: FNV-1a over 64-bit words. Every
+// layer folds its counters in a fixed order via its DigestState method;
+// float64s fold as their IEEE-754 bits, so the digest is exactly as
+// strict as the byte-identity the tables promise. The zero value is
+// ready to use via New.
+type Hash struct{ h uint64 }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// New returns a Hash at the FNV-1a offset basis.
+func New() *Hash { return &Hash{h: fnvOffset} }
+
+// Add folds one 64-bit word, one byte at a time (standard FNV-1a).
+func (h *Hash) Add(v uint64) {
+	x := h.h
+	for i := 0; i < 8; i++ {
+		x ^= v & 0xff
+		x *= fnvPrime
+		v >>= 8
+	}
+	h.h = x
+}
+
+// AddString folds a length-prefixed string (fingerprint components).
+func (h *Hash) AddString(s string) {
+	h.AddInt(len(s))
+	x := h.h
+	for i := 0; i < len(s); i++ {
+		x ^= uint64(s[i])
+		x *= fnvPrime
+	}
+	h.h = x
+}
+
+// AddInt folds a signed counter.
+func (h *Hash) AddInt(v int) { h.Add(uint64(int64(v))) }
+
+// AddFloat folds a float64 as its exact bit pattern.
+func (h *Hash) AddFloat(v float64) { h.Add(math.Float64bits(v)) }
+
+// AddBool folds a flag.
+func (h *Hash) AddBool(v bool) {
+	if v {
+		h.Add(1)
+	} else {
+		h.Add(0)
+	}
+}
+
+// Sum reports the digest so far.
+func (h *Hash) Sum() uint64 { return h.h }

@@ -1,0 +1,61 @@
+package snapshot
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	states := []State{
+		{},
+		{Fingerprint: 0xdeadbeefcafef00d, Events: 1 << 40, Clock: 1234.5678, Digest: 42},
+		{Fingerprint: 1, Events: 0, Clock: math.Inf(1), Digest: ^uint64(0)},
+		{Clock: math.Copysign(0, -1)}, // -0.0 must round-trip its bit pattern
+	}
+	for _, st := range states {
+		b := st.Encode()
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("Decode(%+v): %v", st, err)
+		}
+		if got.Fingerprint != st.Fingerprint || got.Events != st.Events ||
+			math.Float64bits(got.Clock) != math.Float64bits(st.Clock) || got.Digest != st.Digest {
+			t.Fatalf("round trip: got %+v want %+v", got, st)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	b := State{Fingerprint: 7, Events: 9, Clock: 3.5, Digest: 11}.Encode()
+	if _, err := Decode(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated snapshot decoded")
+	}
+	if _, err := Decode(append(b, 0)); err == nil {
+		t.Fatal("over-long snapshot decoded")
+	}
+	for i := range b {
+		c := append([]byte(nil), b...)
+		c[i] ^= 0x40
+		if _, err := Decode(c); err == nil {
+			t.Fatalf("corrupted byte %d decoded", i)
+		}
+	}
+}
+
+func TestHashOrderSensitive(t *testing.T) {
+	a, b := New(), New()
+	a.Add(1)
+	a.Add(2)
+	b.Add(2)
+	b.Add(1)
+	if a.Sum() == b.Sum() {
+		t.Fatal("hash is order-insensitive")
+	}
+	c := New()
+	c.AddFloat(1.0)
+	d := New()
+	d.Add(math.Float64bits(1.0))
+	if c.Sum() != d.Sum() {
+		t.Fatal("AddFloat does not fold the bit pattern")
+	}
+}

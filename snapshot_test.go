@@ -1,0 +1,188 @@
+package diskthru
+
+// Intra-cell snapshot/resume verification: a run split at ANY event
+// offset — snapshot there, rebuild the rig from scratch, fast-forward,
+// verify, drain — must produce a Result byte-identical (gob-compared)
+// to the uninterrupted run. The fuzz target explores arbitrary offsets;
+// the deterministic test pins the edges (0, 1, mid, final, past-end)
+// and the failure modes (corrupt checkpoint, wrong config).
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"diskthru/internal/snapshot"
+)
+
+// snapTestWorkload is small enough to replay in a few milliseconds but
+// still exercises queueing, coalescing and read-ahead.
+func snapTestWorkload(t testing.TB) *Workload {
+	t.Helper()
+	w, err := SyntheticWorkload(SyntheticOptions{
+		Requests: 3000, FileKB: 16, ZipfAlpha: 0.8, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	return w
+}
+
+func snapTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.System = FOR
+	return cfg
+}
+
+func gobBytes(t testing.TB, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatalf("gob: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// runSplit replays (w, cfg) taking the first checkpoint exactly at
+// offset events (SnapshotEvery=offset, keep the first), then resumes a
+// second run from that checkpoint and returns both results' gob
+// encodings. ok is false when the run drained before the offset was
+// reached.
+func runSplit(t testing.TB, w *Workload, cfg Config, offset uint64) (cold, warm []byte, ok bool) {
+	t.Helper()
+	var snap []byte
+	snapCfg := cfg
+	snapCfg.SnapshotEvery = offset
+	snapCfg.OnSnapshot = func(b []byte) {
+		if snap == nil {
+			st, err := snapshot.Decode(b)
+			if err != nil {
+				t.Fatalf("decode own snapshot: %v", err)
+			}
+			if st.Events != offset {
+				t.Fatalf("first checkpoint at event %d, want exactly %d", st.Events, offset)
+			}
+			snap = append([]byte(nil), b...)
+		}
+	}
+	coldRes, err := Run(w, snapCfg)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if snap == nil {
+		return nil, nil, false // run drained before the offset
+	}
+	resCfg := cfg
+	resCfg.Resume = snap
+	warmRes, err := Run(w, resCfg)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	return gobBytes(t, &coldRes), gobBytes(t, &warmRes), true
+}
+
+func TestSnapshotResumeByteIdentity(t *testing.T) {
+	w := snapTestWorkload(t)
+	cfg := snapTestConfig()
+	// Baseline without any snapshot machinery: the observer must be a
+	// pure observer.
+	plain, err := Run(w, cfg)
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	plainBytes := gobBytes(t, &plain)
+	for _, offset := range []uint64{1, 2, 100, 1000, 4096, 4097, 1 << 60} {
+		cold, warm, ok := runSplit(t, w, cfg, offset)
+		if !ok {
+			t.Logf("offset %d: past the drain, skipped", offset)
+			continue
+		}
+		if !bytes.Equal(cold, plainBytes) {
+			t.Fatalf("offset %d: snapshot hook perturbed the run", offset)
+		}
+		if !bytes.Equal(warm, plainBytes) {
+			t.Fatalf("offset %d: resumed result differs from cold run", offset)
+		}
+	}
+}
+
+func TestSnapshotResumeRejectsCorruption(t *testing.T) {
+	w := snapTestWorkload(t)
+	cfg := snapTestConfig()
+	var snap []byte
+	snapCfg := cfg
+	snapCfg.SnapshotEvery = 500
+	snapCfg.OnSnapshot = func(b []byte) {
+		if snap == nil {
+			snap = append([]byte(nil), b...)
+		}
+	}
+	if _, err := Run(w, snapCfg); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if snap == nil {
+		t.Fatal("no snapshot taken")
+	}
+
+	// Corrupt payload: rejected by the codec CRC.
+	bad := append([]byte(nil), snap...)
+	bad[9] ^= 0xff
+	badCfg := cfg
+	badCfg.Resume = bad
+	if _, err := Run(w, badCfg); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+
+	// Wrong config: rejected by the fingerprint before any simulation.
+	otherCfg := cfg
+	otherCfg.System = Segm
+	otherCfg.Resume = snap
+	if _, err := Run(w, otherCfg); err == nil {
+		t.Fatal("checkpoint from a different config accepted")
+	}
+
+	// A forged digest with a valid CRC: rejected by trajectory
+	// verification after the fast-forward.
+	st, err := snapshot.Decode(snap)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	st.Digest ^= 1
+	forgedCfg := cfg
+	forgedCfg.Resume = st.Encode()
+	if _, err := Run(w, forgedCfg); err == nil {
+		t.Fatal("forged digest accepted")
+	}
+}
+
+// FuzzSnapshotResume fuzzes the split offset: byte-identity must hold
+// when a run is checkpointed at ANY event boundary and resumed from it.
+func FuzzSnapshotResume(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(137))
+	f.Add(uint64(4096)) // the progress-batch boundary itself
+	f.Add(uint64(4097))
+	f.Add(uint64(99999))
+	w := snapTestWorkload(f)
+	cfg := snapTestConfig()
+	plain, err := Run(w, cfg)
+	if err != nil {
+		f.Fatalf("plain run: %v", err)
+	}
+	plainBytes := gobBytes(f, &plain)
+	f.Fuzz(func(t *testing.T, offset uint64) {
+		if offset == 0 {
+			return // a zero-offset checkpoint is never taken (nextSnap >= 1)
+		}
+		cold, warm, ok := runSplit(t, w, cfg, offset)
+		if !ok {
+			return // offset past the drain
+		}
+		if !bytes.Equal(cold, plainBytes) {
+			t.Fatalf("offset %d: snapshot hook perturbed the run", offset)
+		}
+		if !bytes.Equal(warm, plainBytes) {
+			t.Fatalf("offset %d: resumed result differs from cold run", offset)
+		}
+	})
+}

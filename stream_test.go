@@ -88,7 +88,7 @@ func TestLongRunWorkloadGates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantRecords := int(400*0.002*3600) // 2880 arrivals
+	wantRecords := int(400 * 0.002 * 3600) // 2880 arrivals
 	if got := w.Records(); got != wantRecords {
 		t.Fatalf("Records = %d, want %d", got, wantRecords)
 	}
